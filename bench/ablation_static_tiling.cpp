@@ -1,0 +1,55 @@
+// Ablation (paper Section 4.3): the accelerator precomputes the 9-nearest-
+// center tiling statically and skips the gradient-based center
+// perturbation; the paper states this has "minimal effect on the accuracy
+// of the algorithm". This bench quantifies that claim.
+#include <iostream>
+
+#include "bench_common.h"
+#include "slic/subsampled.h"
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  bench::banner("Ablation — static tiling / gradient perturbation (CPU)", config);
+
+  const SyntheticCorpus corpus(config.dataset_params(), config.images,
+                               config.seed);
+
+  struct Row {
+    std::string name;
+    bool perturb;
+    bench::Quality quality;
+  };
+  std::vector<Row> rows = {
+      {"gradient-perturbed init (SLIC reference)", true, {}},
+      {"static grid init (accelerator)", false, {}},
+  };
+
+  for (int i = 0; i < corpus.size(); ++i) {
+    const GroundTruthImage gt = corpus.generate(i);
+    for (auto& row : rows) {
+      SlicParams params = config.slic_params();
+      params.subsample_ratio = 0.5;
+      params.max_iterations = config.iterations * 2;
+      params.perturb_centers = row.perturb;
+      const Segmentation seg = PpaSlic(params).segment(gt.image);
+      row.quality += bench::measure_quality(seg.labels, gt.truth);
+    }
+  }
+
+  Table table("Initialization strategy: quality impact");
+  table.set_header({"initialization", "USE", "USE(min)", "recall", "ASA"});
+  for (auto& row : rows) {
+    row.quality /= config.images;
+    table.add_row({row.name, Table::num(row.quality.use, 4),
+                   Table::num(row.quality.use_min, 4),
+                   Table::num(row.quality.recall, 4),
+                   Table::num(row.quality.asa, 4)});
+  }
+  const double d_use = rows[1].quality.use - rows[0].quality.use;
+  table.add_note("paper Section 4.3: 'statically assigning these values has "
+                 "minimal effect on the accuracy'. Measured dUSE = " +
+                 Table::num(d_use, 4) + ".");
+  std::cout << table;
+  return 0;
+}

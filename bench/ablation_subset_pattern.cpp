@@ -1,0 +1,66 @@
+// Ablation (paper Section 3): "Choosing the proper subsampling strategy is
+// fundamental to guaranteeing the convergence of the iterative algorithm."
+//
+// Compares the statistically-uniform dithered subsets (checkerboard/Bayer)
+// against row-interleaved subsets (whole rows round-robin — the DRAM-burst-
+// friendly pattern the accelerator's bandwidth saving relies on), at
+// ratios 0.5 and 0.25.
+#include <iostream>
+
+#include "bench_common.h"
+#include "slic/subsampled.h"
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  bench::banner("Ablation — subset pattern: dithered vs row-interleaved (CPU)",
+                config);
+
+  struct Row {
+    std::string name;
+    double ratio;
+    SubsetPattern pattern;
+    bench::Quality quality;
+    double movement_last = 0.0;  // residual center movement at the end
+  };
+  std::vector<Row> rows = {
+      {"S-SLIC(0.5) dithered", 0.5, SubsetPattern::kDithered, {}, 0},
+      {"S-SLIC(0.5) row-interleaved", 0.5, SubsetPattern::kRowInterleaved, {}, 0},
+      {"S-SLIC(0.25) dithered", 0.25, SubsetPattern::kDithered, {}, 0},
+      {"S-SLIC(0.25) row-interleaved", 0.25, SubsetPattern::kRowInterleaved, {}, 0},
+  };
+
+  const SyntheticCorpus corpus(config.dataset_params(), config.images,
+                               config.seed);
+  for (int i = 0; i < corpus.size(); ++i) {
+    const GroundTruthImage gt = corpus.generate(i);
+    for (auto& row : rows) {
+      SlicParams params = config.slic_params();
+      params.subsample_ratio = row.ratio;
+      params.subset_pattern = row.pattern;
+      params.max_iterations = static_cast<int>(config.iterations / row.ratio);
+      const Segmentation seg = PpaSlic(params).segment(gt.image);
+      row.quality += bench::measure_quality(seg.labels, gt.truth);
+      row.movement_last += seg.trace.back().center_movement;
+    }
+  }
+
+  Table table("Subset pattern vs quality (same full-sweep budget)");
+  table.set_header({"variant", "USE", "USE(min)", "recall", "ASA",
+                    "residual movement px"});
+  for (auto& row : rows) {
+    row.quality /= config.images;
+    table.add_row({row.name, Table::num(row.quality.use, 4),
+                   Table::num(row.quality.use_min, 4),
+                   Table::num(row.quality.recall, 4),
+                   Table::num(row.quality.asa, 4),
+                   Table::num(row.movement_last / config.images, 3)});
+  }
+  table.add_note("row-interleaved subsets let the accelerator skip whole "
+                 "DRAM bursts for inactive rows (the 1.8x bandwidth saving); "
+                 "this bench quantifies what that costs in estimator "
+                 "uniformity — Section 3's 'proper subsampling strategy' "
+                 "requirement.");
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Shared infrastructure for the paper-reproduction bench harness.
+//
+// Every bench binary accepts:
+//   --images=N   corpus size for CPU experiments (default kept small enough
+//                for a quick full-harness run; raise to the paper's 100-200
+//                for publication-grade statistics)
+//   --width/--height/--superpixels/--compactness to override the workload.
+// Each binary prints the paper's published values next to the measured ones
+// so the reproduction can be eyeballed directly.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "dataset/synthetic.h"
+#include "metrics/segmentation_metrics.h"
+#include "slic/segmenter.h"
+
+namespace sslic::bench {
+
+/// Common workload configuration parsed from the command line.
+struct BenchConfig {
+  int images = 20;           ///< corpus size (paper: 100-200 BSDS images)
+  int width = 481;           ///< BSDS image size
+  int height = 321;
+  int superpixels = 900;     ///< K for the quality experiments (Fig. 2)
+  double compactness = 10.0;
+  int iterations = 10;
+  int annotators = 1;  ///< ground-truth annotations per image (BSDS has ~5)
+  std::uint64_t seed = 1000;
+
+  static BenchConfig parse(int argc, const char* const* argv) {
+    const CliArgs args(argc, argv);
+    BenchConfig config;
+    config.images = args.get_int("images", config.images);
+    config.width = args.get_int("width", config.width);
+    config.height = args.get_int("height", config.height);
+    config.superpixels = args.get_int("superpixels", config.superpixels);
+    config.compactness = args.get_double("compactness", config.compactness);
+    config.iterations = args.get_int("iterations", config.iterations);
+    config.annotators = args.get_int("annotators", config.annotators);
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1000));
+    return config;
+  }
+
+  [[nodiscard]] SyntheticParams dataset_params() const {
+    SyntheticParams p;
+    p.width = width;
+    p.height = height;
+    return p;
+  }
+
+  [[nodiscard]] SlicParams slic_params() const {
+    SlicParams p;
+    p.num_superpixels = superpixels;
+    p.compactness = compactness;
+    p.max_iterations = iterations;
+    return p;
+  }
+};
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& title, const BenchConfig& config) {
+  std::cout << "==================================================================\n"
+            << title << '\n'
+            << "workload: " << config.images << " synthetic Berkeley-like images, "
+            << config.width << 'x' << config.height << ", K=" << config.superpixels
+            << ", m=" << config.compactness << '\n'
+            << "(see DESIGN.md §1 for the BSDS substitution; --images=N to scale)\n"
+            << "==================================================================\n";
+}
+
+/// Quality metrics of one segmentation against ground truth.
+struct Quality {
+  double use = 0.0;       ///< Achanta undersegmentation error
+  double use_min = 0.0;   ///< Neubert min-variant
+  double recall = 0.0;    ///< boundary recall, tolerance 2
+  double asa = 0.0;
+
+  Quality& operator+=(const Quality& other) {
+    use += other.use;
+    use_min += other.use_min;
+    recall += other.recall;
+    asa += other.asa;
+    return *this;
+  }
+  Quality& operator/=(double n) {
+    use /= n;
+    use_min /= n;
+    recall /= n;
+    asa /= n;
+    return *this;
+  }
+};
+
+inline Quality measure_quality(const LabelImage& labels, const LabelImage& truth) {
+  const OverlapTable table(labels, truth);
+  Quality q;
+  q.use = undersegmentation_error(table);
+  q.use_min = undersegmentation_error_min(table);
+  q.recall = boundary_recall(labels, truth, 2);
+  q.asa = achievable_segmentation_accuracy(table);
+  return q;
+}
+
+/// Quality averaged over several annotators (the BSDS protocol).
+inline Quality measure_quality(const LabelImage& labels,
+                               const std::vector<LabelImage>& truths) {
+  const MultiGroundTruthQuality m = evaluate_against_annotators(labels, truths, 2);
+  Quality q;
+  q.use = m.use_mean;
+  q.use_min = m.use_min_mean;
+  q.recall = m.recall_mean;
+  q.asa = m.asa_mean;
+  return q;
+}
+
+/// One point of a quality-versus-time curve (Fig. 2 axes).
+struct CurvePoint {
+  double time_ms = 0.0;  ///< cumulative iteration wall time (mean per image)
+  Quality quality;
+  std::size_t pixels_visited = 0;  ///< cumulative, mean per image
+};
+
+}  // namespace sslic::bench

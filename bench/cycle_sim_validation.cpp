@@ -1,0 +1,82 @@
+// Cross-validation of the two independent performance models: the
+// closed-form analytical model (hw/accelerator_model) versus the
+// cycle-stepped simulator (hw/cycle_sim). This is the repository's
+// substitute for the paper's RTL-simulation cross-check of the HLS design
+// (Synopsys VCS on the Catapult netlist, Fig. 5).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/cycle_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  using namespace sslic::hw;
+  bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  config.width = 1920;
+  config.height = 1080;
+  config.superpixels = 5000;
+  bench::banner("Model validation — analytical model vs cycle simulator", config);
+
+  Table table("Frame latency: analytical vs cycle-stepped (ms)");
+  table.set_header({"design point", "analytic", "cycle-sim", "delta",
+                    "sim conv", "sim pixels", "sim tiles", "sim centers",
+                    "sim dram"});
+
+  double worst_delta = 0.0;
+  const auto add_point = [&](const std::string& name, AcceleratorDesign d) {
+    const FrameReport analytic = AcceleratorModel(d).evaluate();
+    const CycleReport sim = CycleSimulator(d).run();
+    const double a_ms = analytic.total_s * 1e3;
+    const double s_ms = sim.seconds(d.clock_hz) * 1e3;
+    const double delta = (s_ms - a_ms) / a_ms * 100.0;
+    worst_delta = std::max(worst_delta, std::fabs(delta));
+    const auto ms = [&](std::uint64_t cycles) {
+      return Table::num(static_cast<double>(cycles) / d.clock_hz * 1e3, 1);
+    };
+    table.add_row({name, Table::num(a_ms, 2), Table::num(s_ms, 2),
+                   Table::num(delta, 1) + "%", ms(sim.conv_cycles),
+                   ms(sim.cluster_pixel_cycles), ms(sim.tile_overhead_cycles),
+                   ms(sim.center_update_cycles), ms(sim.dram_stall_cycles)});
+  };
+
+  AcceleratorDesign base;
+  add_point("HD, 4kB, 9-9-6 (paper)", base);
+  for (const double buffer : {1024.0, 2048.0, 8192.0, 32768.0}) {
+    AcceleratorDesign d = base;
+    d.channel_buffer_bytes = buffer;
+    add_point("HD, " + Table::num(buffer / 1024, 0) + "kB", d);
+  }
+  {
+    AcceleratorDesign d = base;
+    d.width = 1280;
+    d.height = 768;
+    d.channel_buffer_bytes = 1024;
+    add_point("720p, 1kB", d);
+  }
+  {
+    AcceleratorDesign d = base;
+    d.width = 640;
+    d.height = 480;
+    d.channel_buffer_bytes = 1024;
+    add_point("VGA, 1kB", d);
+  }
+  {
+    AcceleratorDesign d = base;
+    d.subsample_ratio = 1.0;
+    add_point("HD, full sampling", d);
+  }
+  {
+    AcceleratorDesign d = base;
+    d.cluster = ClusterUnitConfig::way_111();
+    add_point("HD, 1-1-1 cluster", d);
+  }
+
+  table.add_note("the analytical model hides a calibrated fraction of DRAM "
+                 "fill latency; the simulator derives the exposure from the "
+                 "single-buffered load/process/store schedule. Agreement "
+                 "within a few percent validates both.");
+  std::cout << table;
+  std::cout << "\nworst disagreement: " << Table::num(worst_delta, 1) << "%\n";
+  return worst_delta < 10.0 ? 0 : 1;
+}

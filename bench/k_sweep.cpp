@@ -1,0 +1,57 @@
+// Extension experiment: quality versus superpixel count K — the standard
+// superpixel evaluation curve (SLIC TPAMI Fig. 4 style), here comparing
+// SLIC against S-SLIC(0.5) across K. The paper evaluates at K = 900
+// (quality) and K = 5000 (accelerator); this sweep shows the subsampling
+// equivalence holds across the whole operating range.
+#include <iostream>
+
+#include "bench_common.h"
+#include "slic/slic_baseline.h"
+#include "slic/subsampled.h"
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  if (config.images > 10) config.images = 10;  // 5 K values x 2 variants
+  bench::banner("Extension — quality vs superpixel count K (CPU)", config);
+
+  const SyntheticCorpus corpus(config.dataset_params(), config.images,
+                               config.seed);
+
+  Table table("Quality vs K, SLIC vs S-SLIC(0.5), matched full sweeps");
+  table.set_header({"K", "variant", "USE", "USE(min)", "recall", "ASA",
+                    "compactness"});
+  for (const int k : {200, 500, 900, 1500, 2500}) {
+    for (const bool subsampled : {false, true}) {
+      bench::Quality quality;
+      double compact = 0.0;
+      for (int i = 0; i < corpus.size(); ++i) {
+        const GroundTruthImage gt = corpus.generate(i);
+        SlicParams params = config.slic_params();
+        params.num_superpixels = k;
+        Segmentation seg;
+        if (subsampled) {
+          params.subsample_ratio = 0.5;
+          params.max_iterations = config.iterations * 2;
+          seg = PpaSlic(params).segment(gt.image);
+        } else {
+          seg = CpaSlic(params).segment(gt.image);
+        }
+        quality += bench::measure_quality(seg.labels, gt.truth);
+        compact += compactness(seg.labels);
+      }
+      quality /= config.images;
+      compact /= config.images;
+      table.add_row({std::to_string(k), subsampled ? "S-SLIC(0.5)" : "SLIC",
+                     Table::num(quality.use, 4), Table::num(quality.use_min, 4),
+                     Table::num(quality.recall, 4), Table::num(quality.asa, 4),
+                     Table::num(compact, 3)});
+    }
+    table.add_separator();
+  }
+  table.add_note("expected shape: USE falls and recall rises with K for both "
+                 "variants, and S-SLIC(0.5) tracks SLIC at every K — the "
+                 "subsampling equivalence is not a K=900 artifact.");
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,168 @@
+// google-benchmark microbenchmarks of the hot kernels: color conversion
+// (reference float and LUT integer), the 9-way distance + 9:1 minimum inner
+// loop, full algorithm iterations, the quality metrics, and connectivity
+// enforcement.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "color/color_convert.h"
+#include "color/lut_color_unit.h"
+#include "dataset/synthetic.h"
+#include "metrics/segmentation_metrics.h"
+#include "slic/connectivity.h"
+#include "slic/hw_datapath.h"
+#include "slic/slic_baseline.h"
+#include "slic/subsampled.h"
+
+namespace {
+
+using namespace sslic;
+
+const GroundTruthImage& test_image() {
+  static const GroundTruthImage gt = [] {
+    SyntheticParams p;  // BSDS-sized
+    return generate_synthetic(p, 42);
+  }();
+  return gt;
+}
+
+void BM_ColorConvertReference(benchmark::State& state) {
+  const RgbImage& img = test_image().image;
+  for (auto _ : state) {
+    LabImage lab = srgb_to_lab(img);
+    benchmark::DoNotOptimize(lab.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.size()));
+}
+BENCHMARK(BM_ColorConvertReference);
+
+void BM_ColorConvertLut(benchmark::State& state) {
+  const RgbImage& img = test_image().image;
+  const LutColorUnit unit;
+  for (auto _ : state) {
+    Planar8 planes = unit.convert(img);
+    benchmark::DoNotOptimize(planes.ch1.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.size()));
+}
+BENCHMARK(BM_ColorConvertLut);
+
+void BM_NineWayIntegerDistanceMin(benchmark::State& state) {
+  // The cluster-update inner loop: 9 distances + 9:1 min per pixel.
+  std::vector<HwCenter> centers(9);
+  for (int i = 0; i < 9; ++i)
+    centers[static_cast<std::size_t>(i)] = {i * 20, 128 - i, 128 + i, i * 10,
+                                            i * 7};
+  const Lab8 pixel{90, 130, 120};
+  for (auto _ : state) {
+    std::int32_t best = INT32_MAX;
+    std::int32_t best_i = 0;
+    for (std::int32_t i = 0; i < 9; ++i) {
+      const std::int32_t d = HwSlic::integer_distance(
+          pixel, 45, 33, centers[static_cast<std::size_t>(i)], 64);
+      if (d < best) {
+        best = d;
+        best_i = i;
+      }
+    }
+    benchmark::DoNotOptimize(best_i);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NineWayIntegerDistanceMin);
+
+void BM_PpaIteration(benchmark::State& state) {
+  const GroundTruthImage& gt = test_image();
+  const LabImage lab = srgb_to_lab(gt.image);
+  SlicParams params;
+  params.num_superpixels = 900;
+  params.max_iterations = static_cast<int>(state.range(0));
+  params.subsample_ratio = 0.5;
+  params.enforce_connectivity = false;
+  const PpaSlic slic(params);
+  for (auto _ : state) {
+    Segmentation seg = slic.segment_lab(lab);
+    benchmark::DoNotOptimize(seg.labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lab.size()) *
+                          state.range(0) / 2);
+}
+BENCHMARK(BM_PpaIteration)->Arg(1)->Arg(4);
+
+void BM_CpaIteration(benchmark::State& state) {
+  const GroundTruthImage& gt = test_image();
+  const LabImage lab = srgb_to_lab(gt.image);
+  SlicParams params;
+  params.num_superpixels = 900;
+  params.max_iterations = 1;
+  params.enforce_connectivity = false;
+  const CpaSlic slic(params);
+  for (auto _ : state) {
+    Segmentation seg = slic.segment_lab(lab);
+    benchmark::DoNotOptimize(seg.labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lab.size()));
+}
+BENCHMARK(BM_CpaIteration);
+
+void BM_HwGoldenModelFrame(benchmark::State& state) {
+  const GroundTruthImage& gt = test_image();
+  HwConfig config;
+  config.num_superpixels = 900;
+  config.iterations = 4;
+  for (auto _ : state) {
+    Segmentation seg = HwSlic(config).segment(gt.image);
+    benchmark::DoNotOptimize(seg.labels.data());
+  }
+}
+BENCHMARK(BM_HwGoldenModelFrame);
+
+void BM_UndersegmentationError(benchmark::State& state) {
+  const GroundTruthImage& gt = test_image();
+  SlicParams params;
+  params.num_superpixels = 900;
+  params.max_iterations = 2;
+  const Segmentation seg = PpaSlic(params).segment(gt.image);
+  for (auto _ : state) {
+    const double use = undersegmentation_error(seg.labels, gt.truth);
+    benchmark::DoNotOptimize(use);
+  }
+}
+BENCHMARK(BM_UndersegmentationError);
+
+void BM_BoundaryRecall(benchmark::State& state) {
+  const GroundTruthImage& gt = test_image();
+  SlicParams params;
+  params.num_superpixels = 900;
+  params.max_iterations = 2;
+  const Segmentation seg = PpaSlic(params).segment(gt.image);
+  for (auto _ : state) {
+    const double recall = boundary_recall(seg.labels, gt.truth, 2);
+    benchmark::DoNotOptimize(recall);
+  }
+}
+BENCHMARK(BM_BoundaryRecall);
+
+void BM_ConnectivityEnforcement(benchmark::State& state) {
+  const GroundTruthImage& gt = test_image();
+  SlicParams params;
+  params.num_superpixels = 900;
+  params.max_iterations = 2;
+  params.enforce_connectivity = false;
+  const Segmentation seg = PpaSlic(params).segment(gt.image);
+  for (auto _ : state) {
+    LabelImage labels = seg.labels;
+    enforce_connectivity(labels, 900);
+    benchmark::DoNotOptimize(labels.data());
+  }
+}
+BENCHMARK(BM_ConnectivityEnforcement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Extension experiment: the quality/energy Pareto of the subsampling ratio.
+//
+// The paper evaluates ratios 1, 0.5, and 0.25 for quality (Fig. 2) and
+// builds the accelerator at 0.5. This bench joins the two halves of the
+// repository: for each ratio it measures segmentation quality on the CPU
+// (at a fixed full-sweep budget) AND evaluates the accelerator model's
+// frame energy/latency for the same configuration — the trade-off a
+// designer would actually sweep.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/accelerator_model.h"
+#include "slic/subsampled.h"
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  bench::banner("Extension — subsample-ratio quality/energy Pareto", config);
+
+  const SyntheticCorpus corpus(config.dataset_params(), config.images,
+                               config.seed);
+
+  Table table("Quality (CPU corpus) vs accelerator cost (model, 1080p K=5000)");
+  table.set_header({"ratio", "USE", "recall", "ASA", "latency ms", "fps",
+                    "real-time", "energy mJ", "power mW"});
+  for (const double ratio : {1.0, 0.5, 0.25, 0.125}) {
+    bench::Quality quality;
+    for (int i = 0; i < corpus.size(); ++i) {
+      const GroundTruthImage gt = corpus.generate(i);
+      SlicParams params = config.slic_params();
+      params.subsample_ratio = ratio;
+      params.max_iterations = static_cast<int>(config.iterations / ratio);
+      const Segmentation seg = PpaSlic(params).segment(gt.image);
+      quality += bench::measure_quality(seg.labels, gt.truth);
+    }
+    quality /= config.images;
+
+    hw::AcceleratorDesign design;  // 1080p, K=5000, 9 sweeps
+    design.subsample_ratio = ratio;
+    const hw::FrameReport r = hw::AcceleratorModel(design).evaluate();
+
+    table.add_row({Table::num(ratio, 3), Table::num(quality.use, 4),
+                   Table::num(quality.recall, 4), Table::num(quality.asa, 4),
+                   Table::num(r.total_s * 1e3, 1), Table::num(r.fps, 1),
+                   r.real_time() ? "yes" : "no",
+                   Table::num(r.energy_per_frame_j * 1e3, 2),
+                   Table::num(r.average_power_w * 1e3, 0)});
+  }
+  table.add_note("quality at matched full-sweep budget; accelerator cost at "
+                 "matched sweep count (finer ratios need more subset "
+                 "iterations, raising per-frame overheads).");
+  table.add_note("reproduction finding: at *matched sweeps* the model favors "
+                 "full sampling — the index stream and per-iteration "
+                 "overheads do not shrink with the subset. S-SLIC's real "
+                 "advantage is convergence: it needs fewer sweeps for equal "
+                 "quality (Fig. 2), shown below.");
+  std::cout << table;
+
+  // Quality-parity operating points: Fig. 2 measures S-SLIC reaching SLIC's
+  // converged quality in substantially less work; running fewer sweeps is
+  // how the accelerator banks it.
+  Table parity("Same design points at quality-parity sweep budgets (model)");
+  parity.set_header({"configuration", "sweeps", "latency ms", "fps",
+                     "real-time", "energy mJ"});
+  struct Point {
+    const char* name;
+    double ratio;
+    int sweeps;
+  };
+  for (const Point point : {Point{"full sampling (reference)", 1.0, 9},
+                            Point{"S-SLIC(0.5), parity sweeps", 0.5, 6},
+                            Point{"S-SLIC(0.25), parity sweeps", 0.25, 4}}) {
+    hw::AcceleratorDesign design;
+    design.subsample_ratio = point.ratio;
+    design.full_sweeps = point.sweeps;
+    const hw::FrameReport r = hw::AcceleratorModel(design).evaluate();
+    parity.add_row({point.name, std::to_string(point.sweeps),
+                    Table::num(r.total_s * 1e3, 1), Table::num(r.fps, 1),
+                    r.real_time() ? "yes" : "no",
+                    Table::num(r.energy_per_frame_j * 1e3, 2)});
+  }
+  parity.add_note("parity budgets from the Fig. 2 bench (S-SLIC reaches "
+                  "SLIC's converged USE in 40-70% less work on this corpus; "
+                  "6/4 sweeps are conservative).");
+  std::cout << '\n' << parity;
+  return 0;
+}

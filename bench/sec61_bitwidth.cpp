@@ -1,0 +1,119 @@
+// Reproduces paper Section 6.1: bit-width exploration of the S-SLIC
+// datapath. The paper reduces numerical precision from 64-bit floating
+// point to fixed point and reports that at 8 bits the undersegmentation
+// error grows by only 0.003 and boundary recall drops by only 0.001, with
+// degradation becoming noticeable at 7 bits and below.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "slic/hw_datapath.h"
+#include "slic/subsampled.h"
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  if (config.images > 10) config.images = 10;  // width sweep is 8x the work
+  bench::banner("Section 6.1 — data bit-width exploration (CPU)", config);
+
+  const SyntheticCorpus corpus(config.dataset_params(), config.images,
+                               config.seed);
+
+  struct Row {
+    std::string name;
+    DataWidth width;
+    bench::Quality quality;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"float64 (reference)", DataWidth::float64(), {}});
+  for (const int bits : {12, 10, 8, 7, 6, 5, 4})
+    rows.push_back({std::to_string(bits) + "-bit fixed", DataWidth::fixed(bits), {}});
+
+  for (int i = 0; i < corpus.size(); ++i) {
+    const GroundTruthImage gt = corpus.generate(i);
+    SlicParams params = config.slic_params();
+    params.subsample_ratio = 0.5;
+    params.max_iterations = config.iterations * 2;
+    for (auto& row : rows) {
+      const Segmentation seg = PpaSlic(params, row.width).segment(gt.image);
+      row.quality += bench::measure_quality(seg.labels, gt.truth);
+    }
+  }
+  for (auto& row : rows) row.quality /= config.images;
+
+  const bench::Quality& ref = rows.front().quality;
+  Table table("Quality vs datapath width, S-SLIC(0.5) (measured)");
+  table.set_header({"datapath", "USE", "dUSE vs f64", "recall", "drecall",
+                    "ASA", "dASA"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, Table::num(row.quality.use, 4),
+                   Table::num(row.quality.use - ref.use, 4),
+                   Table::num(row.quality.recall, 4),
+                   Table::num(row.quality.recall - ref.recall, 4),
+                   Table::num(row.quality.asa, 4),
+                   Table::num(row.quality.asa - ref.asa, 4)});
+  }
+  table.add_note("paper: 8-bit fixed point costs only +0.003 USE / -0.001 "
+                 "recall vs float64; error becomes noticeable below 7 bits.");
+  table.add_note("robustness argument: accuracy depends on *relative* "
+                 "distance comparisons, not absolute distance values "
+                 "(Section 6.1).");
+  std::cout << table;
+
+  // Companion sweep: the color-conversion unit's PWL segment count on the
+  // full integer golden model. The paper fixes 8 segments (Section 6.1);
+  // this quantifies what that choice costs on weak-contrast boundaries.
+  struct PwlRow {
+    std::string name;
+    int segments;
+    bench::Quality quality;
+  };
+  std::vector<PwlRow> pwl_rows = {
+      {"4 segments", 4, {}},
+      {"8 segments (paper)", 8, {}},
+      {"12 segments", 12, {}},
+      {"16 segments", 16, {}},
+  };
+  for (int i = 0; i < corpus.size(); ++i) {
+    const GroundTruthImage gt = corpus.generate(i);
+    for (auto& row : pwl_rows) {
+      HwConfig hw;
+      hw.num_superpixels = config.superpixels;
+      hw.compactness = config.compactness;
+      hw.iterations = config.iterations * 2;
+      hw.subsample_ratio = 0.5;
+      hw.color.pwl_segments = row.segments;
+      const Segmentation seg = HwSlic(hw).segment(gt.image);
+      row.quality += bench::measure_quality(seg.labels, gt.truth);
+    }
+  }
+  Table pwl_table("Golden model quality vs color-conversion PWL segments");
+  pwl_table.set_header({"conversion unit", "USE", "recall", "ASA"});
+  for (auto& row : pwl_rows) {
+    row.quality /= config.images;
+    pwl_table.add_row({row.name, Table::num(row.quality.use, 4),
+                       Table::num(row.quality.recall, 4),
+                       Table::num(row.quality.asa, 4)});
+  }
+  pwl_table.add_note("reproduction finding: 8-bit *storage* is nearly free "
+                     "(table above), but the 8-segment PWL conversion's a/b "
+                     "error (up to ~6 LSB) costs quality on boundaries whose "
+                     "contrast is below a couple of Lab8 steps; BSDS's "
+                     "stronger photometric boundaries mask this in the paper.");
+  std::cout << '\n' << pwl_table;
+
+  const auto find8 = [&]() -> const Row& {
+    for (const auto& row : rows)
+      if (row.name.rfind("8-bit", 0) == 0) return row;
+    return rows.front();
+  };
+  const Row& r8 = find8();
+  std::cout << "\n8-bit verdict: dUSE = " << Table::num(r8.quality.use - ref.use, 4)
+            << " (paper +0.003), drecall = "
+            << Table::num(r8.quality.recall - ref.recall, 4)
+            << " (paper -0.001) -> the 8-bit datapath choice "
+            << ((std::abs(r8.quality.use - ref.use) < 0.01) ? "reproduces"
+                                                            : "DEVIATES")
+            << ".\n";
+  return 0;
+}

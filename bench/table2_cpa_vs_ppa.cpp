@@ -1,0 +1,100 @@
+// Reproduces paper Table 2: memory bandwidth and operation count per
+// iteration for the Center Perspective Architecture (CPA) and the Pixel
+// Perspective Architecture (PPA) at 1920x1080 with K = 5000, plus the
+// Section-4.2 energy-model argument that picks the PPA.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/energy_model.h"
+#include "slic/slic_baseline.h"
+#include "slic/subsampled.h"
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  config.width = 1920;
+  config.height = 1080;
+  config.superpixels = 5000;
+  config.images = 1;
+  bench::banner("Table 2 — CPA vs PPA: memory traffic & operations (CPU, instrumented)",
+                config);
+
+  const GroundTruthImage gt =
+      generate_synthetic(config.dataset_params(), config.seed);
+
+  SlicParams params = config.slic_params();
+  params.max_iterations = 1;
+  params.enforce_connectivity = false;
+  params.subsample_ratio = 1.0;
+
+  Instrumentation cpa;
+  (void)CpaSlic(params).segment(gt.image, {}, &cpa);
+  Instrumentation ppa;
+  (void)PpaSlic(params).segment(gt.image, {}, &ppa);
+
+  const double n = static_cast<double>(config.width) * config.height;
+
+  Table table("Per-iteration cost (measured vs paper)");
+  table.set_header({"", "CPA", "(paper)", "PPA", "(paper)"});
+  table.add_row({"Memory traffic / iter",
+                 Table::si(cpa.traffic_bytes_per_iteration(), 0) + "B", "318MB",
+                 Table::si(ppa.traffic_bytes_per_iteration(), 0) + "B", "100MB"});
+  table.add_row({"Distance OPs / iter",
+                 Table::si(cpa.distance_ops_per_iteration(), 0), "58M",
+                 Table::si(ppa.distance_ops_per_iteration(), 0), "130M"});
+  table.add_row({"Distance evals / pixel",
+                 Table::num(static_cast<double>(cpa.ops.distance_evals) / n, 2),
+                 "~4",
+                 Table::num(static_cast<double>(ppa.ops.distance_evals) / n, 2),
+                 "9"});
+  table.add_note("conventions documented in slic/instrumentation.h (7 ops per "
+                 "5-D distance; float software-prototype buffer sizes).");
+  table.add_note("paper ratios: CPA needs ~3.2x the bandwidth; PPA needs "
+                 "2.25x the distance operations.");
+  std::cout << table;
+
+  const double bw_ratio =
+      cpa.traffic_bytes_per_iteration() / ppa.traffic_bytes_per_iteration();
+  const double op_ratio =
+      ppa.distance_ops_per_iteration() / cpa.distance_ops_per_iteration();
+  std::cout << "\nmeasured ratios: bandwidth CPA/PPA = " << Table::num(bw_ratio, 2)
+            << "x (paper 3.2x), ops PPA/CPA = " << Table::num(op_ratio, 2)
+            << "x (paper 2.25x)\n";
+
+  // Section 4.2's simple energy model: DRAM reference = 2500x an 8-bit add.
+  const auto& e = hw::default_energy_model();
+  const double cpa_energy =
+      static_cast<double>(cpa.traffic.total()) * e.dram_device_pj_per_byte +
+      static_cast<double>(cpa.ops.total_ops()) * e.add8_pj;
+  const double ppa_energy =
+      static_cast<double>(ppa.traffic.total()) * e.dram_device_pj_per_byte +
+      static_cast<double>(ppa.ops.total_ops()) * e.add8_pj;
+  Table energy("Section 4.2 energy model (per iteration, DRAM @ 2500x 8b-add)");
+  energy.set_header({"", "CPA", "PPA"});
+  energy.add_row({"DRAM energy (uJ)",
+                  Table::num(static_cast<double>(cpa.traffic.total()) *
+                                 e.dram_device_pj_per_byte * 1e-6, 1),
+                  Table::num(static_cast<double>(ppa.traffic.total()) *
+                                 e.dram_device_pj_per_byte * 1e-6, 1)});
+  energy.add_row({"Compute energy (uJ)",
+                  Table::num(static_cast<double>(cpa.ops.total_ops()) *
+                                 e.add8_pj * 1e-6, 1),
+                  Table::num(static_cast<double>(ppa.ops.total_ops()) *
+                                 e.add8_pj * 1e-6, 1)});
+  energy.add_row({"Total (uJ)", Table::num(cpa_energy * 1e-6, 1),
+                  Table::num(ppa_energy * 1e-6, 1)});
+  energy.add_note("DRAM dominates both: the lower-bandwidth PPA wins despite "
+                  "2.25x the distance ops — the paper's architectural choice.");
+  std::cout << '\n' << energy;
+
+  if (ppa_energy < cpa_energy) {
+    std::cout << "\nconclusion: PPA is "
+              << Table::num(cpa_energy / ppa_energy, 2)
+              << "x more energy-efficient under the Section-4.2 model "
+                 "(reproduces the paper's choice of PPA).\n";
+  } else {
+    std::cout << "\nWARNING: PPA did not win under the energy model — "
+                 "investigate instrumentation conventions.\n";
+  }
+  return 0;
+}

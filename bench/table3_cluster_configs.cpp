@@ -1,0 +1,92 @@
+// Reproduces paper Table 3: Cluster Update Unit configurations.
+//
+// For each d-m-a parallelism configuration, reports area, power, latency,
+// throughput, and the time/energy to process one iteration of a 1920x1080
+// image at 1.6 GHz, next to the paper's published cells.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/cluster_unit.h"
+#include "slic/grid.h"
+
+namespace {
+
+struct PaperRow {
+  sslic::hw::ClusterUnitConfig config;
+  double area;
+  double power;
+  int latency;
+  const char* throughput;
+  double time_ms;
+  double energy_uj;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  using namespace sslic::hw;
+  bench::BenchConfig config = bench::BenchConfig::parse(argc, argv);
+  config.width = 1920;
+  config.height = 1080;
+  config.superpixels = 5000;
+  bench::banner("Table 3 — Cluster Update Unit configurations (model)", config);
+
+  const PaperRow rows[] = {
+      {ClusterUnitConfig::way_111(), 0.0020, 3.3, 27, "1/9", 11.8, 38.9},
+      {ClusterUnitConfig::way_911(), 0.0149, 3.6, 19, "1/9", 11.8, 42.5},
+      {ClusterUnitConfig::way_191(), 0.0023, 3.2, 20, "1/9", 11.8, 37.5},
+      {ClusterUnitConfig::way_116(), 0.0025, 3.25, 22, "1/9", 11.8, 38.3},
+      {ClusterUnitConfig::way_996(), 0.0156, 30.9, 7, "1", 1.3, 40.6},
+  };
+
+  const auto pixels = static_cast<std::uint64_t>(config.width) *
+                      static_cast<std::uint64_t>(config.height);
+  const CenterGrid grid(config.width, config.height, config.superpixels);
+  const auto tiles = static_cast<std::uint64_t>(grid.num_centers());
+  constexpr double kClock = 1.6e9;
+
+  Table table("Cluster Update Unit design points (measured model vs paper)");
+  table.set_header({"config", "area mm2", "(paper)", "power mW", "(paper)",
+                    "latency cyc", "(paper)", "px/cycle", "time ms", "(paper)",
+                    "energy uJ", "(paper)"});
+  for (const auto& row : rows) {
+    const ClusterUnit unit(row.config);
+    const double time_s = unit.iteration_compute_seconds(pixels, tiles, kClock);
+    const double energy_j = unit.iteration_energy_j(pixels);
+    table.add_row({row.config.name(), Table::num(unit.area_mm2(), 4),
+                   Table::num(row.area, 4),
+                   Table::num(unit.active_power_w(kClock) * 1e3, 2),
+                   Table::num(row.power, 2),
+                   std::to_string(unit.latency_cycles()),
+                   std::to_string(row.latency),
+                   Table::num(unit.throughput_pixels_per_cycle(), 3),
+                   Table::num(time_s * 1e3, 1), Table::num(row.time_ms, 1),
+                   Table::num(energy_j * 1e6, 1), Table::num(row.energy_uj, 1)});
+  }
+  table.add_note("1 iteration of a 1920x1080 frame at 1.6 GHz, " +
+                 std::to_string(tiles) + " tiles.");
+  table.add_note("paper throughput: 1/9 px/cycle for all but 9-9-6 (1 px/cycle).");
+  table.add_note("chosen configuration: 9-9-6 (9x throughput for 7.8x area, "
+                 "marginal energy increase) — Section 6.2.");
+  std::cout << table;
+
+  // Extension: intermediate design points the paper did not publish.
+  Table extra("Extension: intermediate parallelism points (model only)");
+  extra.set_header({"config", "area mm2", "power mW", "II cyc/px", "time ms",
+                    "energy uJ"});
+  for (const auto& cfg :
+       {ClusterUnitConfig{3, 3, 2}, ClusterUnitConfig{3, 9, 6},
+        ClusterUnitConfig{9, 9, 1}, ClusterUnitConfig{9, 3, 3}}) {
+    const ClusterUnit unit(cfg);
+    extra.add_row({cfg.name(), Table::num(unit.area_mm2(), 4),
+                   Table::num(unit.active_power_w(kClock) * 1e3, 2),
+                   std::to_string(unit.initiation_interval()),
+                   Table::num(unit.iteration_compute_seconds(pixels, tiles,
+                                                             kClock) * 1e3, 1),
+                   Table::num(unit.iteration_energy_j(pixels) * 1e6, 1)});
+  }
+  std::cout << '\n' << extra;
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Downstream computer-vision use of superpixels (the paper's Section-1
+// motivation: superpixels "reduce the complexity of image processing tasks
+// later in the pipeline"): build a region-adjacency graph over the
+// superpixels and greedily merge similar neighbours into object-level
+// regions — a classic superpixel-based segmentation consumer.
+//
+//   region_graph [input.ppm] [--superpixels=900] [--regions=12] [--out=prefix]
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "color/color_convert.h"
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "dataset/synthetic.h"
+#include "image/draw.h"
+#include "image/io.h"
+#include "metrics/segmentation_metrics.h"
+#include "slic/segmenter.h"
+
+namespace {
+
+using namespace sslic;
+
+/// Mean Lab color and size per superpixel.
+struct Region {
+  double L = 0.0, a = 0.0, b = 0.0;
+  std::int64_t size = 0;
+  std::int32_t parent = -1;  // union-find
+};
+
+std::int32_t find_root(std::vector<Region>& regions, std::int32_t i) {
+  while (regions[static_cast<std::size_t>(i)].parent != i) {
+    const auto p = regions[static_cast<std::size_t>(i)].parent;
+    regions[static_cast<std::size_t>(i)].parent =
+        regions[static_cast<std::size_t>(p)].parent;
+    i = regions[static_cast<std::size_t>(i)].parent;
+  }
+  return i;
+}
+
+double color_distance(const Region& x, const Region& y) {
+  const double dl = x.L - y.L, da = x.a - y.a, db = x.b - y.b;
+  return std::sqrt(dl * dl + da * da + db * db);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  RgbImage image;
+  std::optional<LabelImage> truth;
+  if (!args.positional().empty()) {
+    image = read_ppm(args.positional().front());
+  } else {
+    const GroundTruthImage gt = generate_synthetic(
+        SyntheticParams{}, static_cast<std::uint64_t>(args.get_int("seed", 11)));
+    image = gt.image;
+    truth = gt.truth;
+  }
+  const int target_regions = args.get_int("regions", 12);
+
+  // --- Stage 1: superpixels (the accelerator's job). ---
+  SlicParams params;
+  params.num_superpixels = args.get_int("superpixels", 900);
+  params.subsample_ratio = 0.5;
+  params.max_iterations = 20;
+  const Segmentation seg = run_segmenter(Algorithm::kSslicPpa, params, image);
+  const int num_superpixels = count_labels(seg.labels);
+  std::cout << "stage 1: " << num_superpixels << " superpixels over "
+            << image.size() << " pixels ("
+            << Table::num(static_cast<double>(image.size()) / num_superpixels, 0)
+            << " px/superpixel complexity reduction)\n";
+
+  // --- Stage 2: region statistics + adjacency graph. ---
+  const LabImage lab = srgb_to_lab(image);
+  std::vector<Region> regions(static_cast<std::size_t>(num_superpixels));
+  for (std::size_t i = 0; i < regions.size(); ++i)
+    regions[i].parent = static_cast<std::int32_t>(i);
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      Region& r = regions[static_cast<std::size_t>(seg.labels(x, y))];
+      r.L += static_cast<double>(lab(x, y).L);
+      r.a += static_cast<double>(lab(x, y).a);
+      r.b += static_cast<double>(lab(x, y).b);
+      r.size += 1;
+    }
+  }
+  for (auto& r : regions) {
+    SSLIC_CHECK(r.size > 0);
+    r.L /= static_cast<double>(r.size);
+    r.a /= static_cast<double>(r.size);
+    r.b /= static_cast<double>(r.size);
+  }
+
+  std::map<std::pair<std::int32_t, std::int32_t>, int> edges;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const std::int32_t here = seg.labels(x, y);
+      for (const auto& [nx, ny] :
+           {std::pair{x + 1, y}, std::pair{x, y + 1}}) {
+        if (nx >= image.width() || ny >= image.height()) continue;
+        const std::int32_t there = seg.labels(nx, ny);
+        if (there != here)
+          edges[{std::min(here, there), std::max(here, there)}] += 1;
+      }
+    }
+  }
+  std::cout << "stage 2: region-adjacency graph with " << regions.size()
+            << " nodes, " << edges.size() << " edges\n";
+
+  // --- Stage 3: greedy merging of the most similar adjacent regions. ---
+  struct Candidate {
+    double distance;
+    std::int32_t a, b;
+    bool operator>(const Candidate& other) const { return distance > other.distance; }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> queue;
+  for (const auto& [edge, strength] : edges) {
+    queue.push({color_distance(regions[static_cast<std::size_t>(edge.first)],
+                               regions[static_cast<std::size_t>(edge.second)]),
+                edge.first, edge.second});
+  }
+  int alive = num_superpixels;
+  while (alive > target_regions && !queue.empty()) {
+    const Candidate c = queue.top();
+    queue.pop();
+    const std::int32_t ra = find_root(regions, c.a);
+    const std::int32_t rb = find_root(regions, c.b);
+    if (ra == rb) continue;
+    Region& a = regions[static_cast<std::size_t>(ra)];
+    Region& b = regions[static_cast<std::size_t>(rb)];
+    // Lazy refresh: if the stored distance is stale, re-queue.
+    const double current = color_distance(a, b);
+    if (current > c.distance + 1e-9) {
+      queue.push({current, ra, rb});
+      continue;
+    }
+    const double total = static_cast<double>(a.size + b.size);
+    a.L = (a.L * static_cast<double>(a.size) + b.L * static_cast<double>(b.size)) / total;
+    a.a = (a.a * static_cast<double>(a.size) + b.a * static_cast<double>(b.size)) / total;
+    a.b = (a.b * static_cast<double>(a.size) + b.b * static_cast<double>(b.size)) / total;
+    a.size += b.size;
+    b.parent = ra;
+    --alive;
+  }
+
+  LabelImage merged(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y)
+    for (int x = 0; x < image.width(); ++x)
+      merged(x, y) = find_root(regions, seg.labels(x, y));
+  compact_labels(merged);
+  std::cout << "stage 3: merged to " << count_labels(merged) << " regions\n";
+
+  if (truth) {
+    std::cout << "object-level quality vs ground truth ("
+              << count_labels(*truth) << " true regions):\n"
+              << "  achievable accuracy: "
+              << achievable_segmentation_accuracy(merged, *truth) << '\n'
+              << "  boundary recall:     " << boundary_recall(merged, *truth, 2)
+              << '\n';
+  }
+
+  const std::string prefix = args.get_string("out", "region_graph");
+  write_ppm(prefix + "_superpixels.ppm", overlay_boundaries(image, seg.labels));
+  write_ppm(prefix + "_regions.ppm",
+            overlay_boundaries(mean_color_abstraction(image, merged), merged,
+                               {255, 255, 60}));
+  std::cout << "wrote " << prefix << "_{superpixels,regions}.ppm\n";
+  return 0;
+}

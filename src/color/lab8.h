@@ -1,0 +1,50 @@
+// 8-bit CIELAB encoding used by the accelerator datapath.
+//
+// The bit-width exploration (paper Section 6.1) selects an 8-bit fixed-point
+// datapath; the scratch-pad channel memories hold one byte per pixel per
+// channel. The encoding follows the common "Lab8" convention:
+//   L8 = L * 255 / 100          (L in [0,100]   -> [0,255])
+//   a8 = a + 128                (a in [-128,127] -> [0,255], clamped)
+//   b8 = b + 128                (b in [-128,127] -> [0,255], clamped)
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace sslic {
+
+/// One 8-bit encoded CIELAB pixel (the scratch-pad storage format).
+struct Lab8 {
+  std::uint8_t L = 0;
+  std::uint8_t a = 128;
+  std::uint8_t b = 128;
+
+  friend bool operator==(const Lab8&, const Lab8&) = default;
+};
+
+namespace lab8_detail {
+inline std::uint8_t clamp_byte(double v) {
+  return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0l, 255l));
+}
+}  // namespace lab8_detail
+
+/// Reference quantization of a floating-point Lab value to the 8-bit
+/// encoding (round-to-nearest). The LUT unit's output is compared against
+/// this in the unit tests.
+inline Lab8 encode_lab8(const LabF& lab) {
+  return {lab8_detail::clamp_byte(static_cast<double>(lab.L) * 255.0 / 100.0),
+          lab8_detail::clamp_byte(static_cast<double>(lab.a) + 128.0),
+          lab8_detail::clamp_byte(static_cast<double>(lab.b) + 128.0)};
+}
+
+/// Decodes the 8-bit encoding back to floating point Lab.
+inline LabF decode_lab8(const Lab8& lab) {
+  return {static_cast<float>(lab.L * 100.0 / 255.0),
+          static_cast<float>(static_cast<int>(lab.a) - 128),
+          static_cast<float>(static_cast<int>(lab.b) - 128)};
+}
+
+}  // namespace sslic

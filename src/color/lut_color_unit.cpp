@@ -1,0 +1,164 @@
+#include "color/lut_color_unit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "color/color_convert.h"
+#include "common/check.h"
+
+namespace sslic {
+namespace {
+
+std::int32_t to_fx(double v, int frac_bits) {
+  return static_cast<std::int32_t>(std::lround(v * std::ldexp(1.0, frac_bits)));
+}
+
+}  // namespace
+
+LutColorUnit::LutColorUnit() : LutColorUnit(Config{}) {}
+
+LutColorUnit::LutColorUnit(Config config) : config_(config) {
+  SSLIC_CHECK(config_.internal_frac_bits >= 6 && config_.internal_frac_bits <= 20);
+  SSLIC_CHECK(config_.pwl_segments >= 2 && config_.pwl_segments <= 16);
+  // Node collapse on the fixed-point grid is caught below (span > 0), so no
+  // segments/frac-bits coupling is required with adaptive node placement.
+  const int frac = config_.internal_frac_bits;
+  one_fx_ = std::int32_t{1} << frac;
+
+  // 256-entry inverse-gamma LUT (Eq. 1).
+  for (int v = 0; v < 256; ++v)
+    gamma_lut_[static_cast<std::size_t>(v)] =
+        to_fx(srgb_inverse_gamma(v / 255.0), frac);
+
+  // White-folded conversion matrix (Eq. 2 with Eq. 4's normalization).
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      const std::size_t i = static_cast<std::size_t>(row * 3 + col);
+      matrix_fx_[i] =
+          to_fx(kSrgbToXyz[i] / kReferenceWhite[static_cast<std::size_t>(row)],
+                frac);
+    }
+  }
+
+  // PWL nodes: greedy max-error splitting. Start from {0, knee, 1} — f is
+  // exactly linear below the knee (Eq. 4), so all refinement goes to the
+  // cube-root region, concentrating segments where curvature lives.
+  const int n = config_.pwl_segments;
+  std::vector<double> nodes{0.0, kLabEpsilon, 1.0};
+  const auto chord_error = [](double lo, double hi) {
+    const double f_lo = lab_f(lo);
+    const double f_hi = lab_f(hi);
+    double worst = 0.0;
+    for (int i = 1; i < 16; ++i) {
+      const double t = lo + (hi - lo) * i / 16.0;
+      const double chord = f_lo + (f_hi - f_lo) * (t - lo) / (hi - lo);
+      worst = std::max(worst, std::fabs(chord - lab_f(t)));
+    }
+    return worst;
+  };
+  while (static_cast<int>(nodes.size()) < n + 1) {
+    std::size_t worst_seg = 0;
+    double worst_err = -1.0;
+    for (std::size_t s = 0; s + 1 < nodes.size(); ++s) {
+      const double err = chord_error(nodes[s], nodes[s + 1]);
+      if (err > worst_err) {
+        worst_err = err;
+        worst_seg = s;
+      }
+    }
+    nodes.insert(nodes.begin() + static_cast<std::ptrdiff_t>(worst_seg) + 1,
+                 0.5 * (nodes[worst_seg] + nodes[worst_seg + 1]));
+  }
+
+  node_t_.resize(nodes.size());
+  node_f_.resize(nodes.size());
+  slope_fx_.resize(nodes.size() - 1);
+  for (std::size_t s = 0; s < nodes.size(); ++s) {
+    node_t_[s] = to_fx(nodes[s], frac);
+    node_f_[s] = to_fx(lab_f(nodes[s]), frac);
+  }
+  for (std::size_t s = 0; s + 1 < nodes.size(); ++s) {
+    const std::int64_t span = node_t_[s + 1] - node_t_[s];
+    SSLIC_CHECK_MSG(span > 0, "PWL nodes collapsed; raise internal_frac_bits");
+    // Slope in Q(frac): f-delta scaled by 2^frac / span, rounded.
+    const std::int64_t df = node_f_[s + 1] - node_f_[s];
+    slope_fx_[s] = (df * one_fx_ + span / 2) / span;
+  }
+}
+
+std::int32_t LutColorUnit::pwl_lab_f(std::int32_t t_fx) const {
+  const std::int32_t t = std::clamp(t_fx, std::int32_t{0}, one_fx_);
+  // Segment selection: a comparator chain / priority encoder in hardware.
+  std::size_t seg = 0;
+  while (seg + 1 < slope_fx_.size() && t >= node_t_[seg + 1]) ++seg;
+  const std::int64_t dt = t - node_t_[seg];
+  const std::int64_t half = std::int64_t{1} << (config_.internal_frac_bits - 1);
+  return node_f_[seg] +
+         static_cast<std::int32_t>((dt * slope_fx_[seg] + half) >>
+                                   config_.internal_frac_bits);
+}
+
+Lab8 LutColorUnit::convert(Rgb8 rgb) const {
+  const int frac = config_.internal_frac_bits;
+  const std::int64_t half = std::int64_t{1} << (frac - 1);
+
+  const std::int64_t lin_r = gamma_lut_[rgb.r];
+  const std::int64_t lin_g = gamma_lut_[rgb.g];
+  const std::int64_t lin_b = gamma_lut_[rgb.b];
+
+  // Matrix multiply; each row already divides by the reference white.
+  const auto dot = [&](int row) {
+    const std::size_t i = static_cast<std::size_t>(3 * row);
+    const std::int64_t acc = matrix_fx_[i] * lin_r + matrix_fx_[i + 1] * lin_g +
+                             matrix_fx_[i + 2] * lin_b;
+    return static_cast<std::int32_t>((acc + half) >> frac);
+  };
+  const std::int32_t fx = pwl_lab_f(dot(0));
+  const std::int32_t fy = pwl_lab_f(dot(1));
+  const std::int32_t fz = pwl_lab_f(dot(2));
+
+  // L in [0,100] scaled straight to the byte range: L8 = (116 fy - 16)*2.55.
+  const std::int64_t l_fx = 116ll * fy - (16ll << frac);
+  std::int64_t l8 = (l_fx * 255ll / 100ll + half) >> frac;
+  // a8/b8: signed offset-128 encoding.
+  const std::int64_t a_fx = 500ll * (fx - fy);
+  const std::int64_t b_fx = 200ll * (fy - fz);
+  std::int64_t a8 = ((a_fx + (a_fx >= 0 ? half : -half)) >> frac) + 128;
+  std::int64_t b8 = ((b_fx + (b_fx >= 0 ? half : -half)) >> frac) + 128;
+
+  l8 = std::clamp<std::int64_t>(l8, 0, 255);
+  a8 = std::clamp<std::int64_t>(a8, 0, 255);
+  b8 = std::clamp<std::int64_t>(b8, 0, 255);
+  return {static_cast<std::uint8_t>(l8), static_cast<std::uint8_t>(a8),
+          static_cast<std::uint8_t>(b8)};
+}
+
+Planar8 LutColorUnit::convert(const RgbImage& image) const {
+  Planar8 planes(image.width(), image.height());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    const Lab8 lab = convert(image.pixels()[i]);
+    planes.ch1.pixels()[i] = lab.L;
+    planes.ch2.pixels()[i] = lab.a;
+    planes.ch3.pixels()[i] = lab.b;
+  }
+  return planes;
+}
+
+Image<Lab8> LutColorUnit::convert_interleaved(const RgbImage& image) const {
+  Image<Lab8> out(image.width(), image.height());
+  for (std::size_t i = 0; i < image.size(); ++i)
+    out.pixels()[i] = convert(image.pixels()[i]);
+  return out;
+}
+
+std::size_t LutColorUnit::lut_storage_bytes() const {
+  // Gamma LUT: 256 entries; PWL: node t and f values plus one slope per
+  // segment. Entries are internal_frac_bits+1 wide; hardware packs them
+  // into ceil(bits/8) bytes.
+  const std::size_t entry_bytes =
+      static_cast<std::size_t>((config_.internal_frac_bits + 1 + 7) / 8);
+  return (256 + node_t_.size() + node_f_.size() + slope_fx_.size()) *
+         entry_bytes;
+}
+
+}  // namespace sslic

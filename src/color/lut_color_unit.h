@@ -1,0 +1,83 @@
+// Bit-exact software model of the accelerator's color conversion unit
+// (paper Fig. 4, Section 6.1).
+//
+// The unit converts 8-bit sRGB to 8-bit CIELAB entirely in integer
+// arithmetic using two lookup structures:
+//   * a 256-entry LUT implementing the inverse-gamma power function of
+//     Eq. 1 (indexed directly by the 8-bit channel value), and
+//   * an 8-segment piecewise-linear approximation of the cube-root-style
+//     f(.) of Eq. 4. Segment boundaries are placed adaptively (greedy
+//     max-error splitting, seeded with the linear/cube-root knee of Eq. 4)
+//     and each segment stores a precomputed slope, so evaluation is one
+//     compare-select, one multiply, and one add — the standard PWL
+//     function-unit structure.
+// The white-point normalization of Eq. 4 is folded into the matrix of
+// Eq. 2 so the PWL input is already X/Xr, Y/Yr, Z/Zr.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "color/lab8.h"
+#include "image/image.h"
+
+namespace sslic {
+
+/// Integer LUT-based sRGB -> Lab8 converter (hardware golden model).
+class LutColorUnit {
+ public:
+  struct Config {
+    /// Fractional bits of the internal fixed-point representation
+    /// (gamma-LUT output, matrix coefficients, PWL nodes). The accelerator
+    /// uses 12; tests sweep it to quantify the precision/size trade-off.
+    int internal_frac_bits = 12;
+    /// Number of piecewise-linear segments for Eq. 4's f(.). The
+    /// accelerator uses 8 (paper Section 6.1).
+    int pwl_segments = 8;
+  };
+
+  LutColorUnit();
+  explicit LutColorUnit(Config config);
+
+  /// Converts one pixel (bit-exact integer datapath).
+  [[nodiscard]] Lab8 convert(Rgb8 rgb) const;
+
+  /// Converts a full image into the scratch-pad planar layout
+  /// (channel 1 = L, channel 2 = a, channel 3 = b; Section 4.3).
+  [[nodiscard]] Planar8 convert(const RgbImage& image) const;
+
+  /// Converts a full image into an interleaved Lab8 raster.
+  [[nodiscard]] Image<Lab8> convert_interleaved(const RgbImage& image) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Bytes of LUT storage the hardware would instantiate (gamma LUT + PWL
+  /// node tables); consumed by the area model.
+  [[nodiscard]] std::size_t lut_storage_bytes() const;
+
+  /// Exposed for tests: the PWL approximation of Eq. 4's f(.) on a
+  /// fixed-point input t (Q`internal_frac_bits`, clamped to [0,1]); returns
+  /// f(t) in the same fixed-point format.
+  [[nodiscard]] std::int32_t pwl_lab_f(std::int32_t t_fx) const;
+
+ private:
+  Config config_;
+  std::int32_t one_fx_ = 0;  // 1.0 in Q(internal_frac_bits)
+
+  // 256-entry inverse-gamma LUT, output in Q(internal_frac_bits).
+  std::array<std::int32_t, 256> gamma_lut_{};
+
+  // White-folded matrix coefficients in Q(internal_frac_bits):
+  // row i computes (XYZ_i / white_i).
+  std::array<std::int32_t, 9> matrix_fx_{};
+
+  // PWL node positions, f values, and per-segment slopes, all in
+  // Q(internal_frac_bits). node_t_/node_f_ have pwl_segments + 1 entries;
+  // slope_fx_ has pwl_segments entries.
+  std::vector<std::int32_t> node_t_;
+  std::vector<std::int32_t> node_f_;
+  std::vector<std::int64_t> slope_fx_;
+};
+
+}  // namespace sslic

@@ -1,0 +1,56 @@
+// Lightweight runtime-contract checking.
+//
+// SSLIC_CHECK enforces preconditions/invariants in all build types and
+// throws sslic::ContractViolation on failure (per CppCoreGuidelines I.6/E.x:
+// report precondition violations through the error-handling mechanism rather
+// than silently corrupting state). SSLIC_DCHECK compiles out in NDEBUG and
+// is reserved for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sslic {
+
+/// Thrown when a checked precondition, postcondition, or invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace sslic
+
+#define SSLIC_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) ::sslic::detail::contract_fail(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define SSLIC_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream sslic_check_os_;                                   \
+      sslic_check_os_ << msg;                                               \
+      ::sslic::detail::contract_fail(#expr, __FILE__, __LINE__,             \
+                                     sslic_check_os_.str());                \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define SSLIC_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define SSLIC_DCHECK(expr) SSLIC_CHECK(expr)
+#endif

@@ -1,0 +1,54 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace sslic {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  SSLIC_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int CliArgs::get_int(const std::string& name, int fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace sslic

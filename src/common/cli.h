@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing shared by the examples and benches.
+// Flags take the form --name=value or --name value; bare --name sets a bool.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sslic {
+
+/// Parses `--key=value` / `--key value` / `--flag` style arguments.
+/// Unrecognized positional arguments are collected in order.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was given (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sslic

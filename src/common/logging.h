@@ -1,0 +1,33 @@
+// Minimal leveled logging to stderr. Benches and examples use INFO for
+// progress; libraries only log at WARN and above.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sslic {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace sslic
+
+#define SSLIC_LOG(level, expr)                                           \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::sslic::log_level())) { \
+      std::ostringstream sslic_log_os_;                                  \
+      sslic_log_os_ << expr;                                             \
+      ::sslic::detail::log_emit(level, sslic_log_os_.str());             \
+    }                                                                    \
+  } while (false)
+
+#define SSLIC_INFO(expr) SSLIC_LOG(::sslic::LogLevel::kInfo, expr)
+#define SSLIC_WARN(expr) SSLIC_LOG(::sslic::LogLevel::kWarn, expr)
+#define SSLIC_ERROR(expr) SSLIC_LOG(::sslic::LogLevel::kError, expr)

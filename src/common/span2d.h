@@ -1,0 +1,76 @@
+// Non-owning bounds-checked 2-D view over contiguous row-major storage.
+// Used throughout to pass image planes and label maps without copying.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace sslic {
+
+/// Non-owning row-major 2-D view. `T` may be const-qualified for read views.
+/// Bounds are checked via SSLIC_DCHECK (debug builds) on element access and
+/// via SSLIC_CHECK on construction.
+template <typename T>
+class Span2d {
+ public:
+  Span2d() = default;
+
+  Span2d(T* data, int width, int height, int stride)
+      : data_(data), width_(width), height_(height), stride_(stride) {
+    SSLIC_CHECK(width >= 0 && height >= 0 && stride >= width);
+    SSLIC_CHECK(data != nullptr || (width == 0 && height == 0));
+  }
+
+  Span2d(T* data, int width, int height) : Span2d(data, width, height, width) {}
+
+  /// Implicit conversion Span2d<T> -> Span2d<const T>.
+  operator Span2d<const T>() const { return {data_, width_, height_, stride_}; }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int stride() const { return stride_; }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] T* data() const { return data_; }
+
+  [[nodiscard]] bool contains(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  T& operator()(int x, int y) const {
+    SSLIC_DCHECK(contains(x, y));
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(stride_) +
+                 static_cast<std::size_t>(x)];
+  }
+
+  /// Clamped access: coordinates outside the view are clamped to the border.
+  T& at_clamped(int x, int y) const {
+    const int cx = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    const int cy = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return (*this)(cx, cy);
+  }
+
+  [[nodiscard]] T* row(int y) const {
+    SSLIC_DCHECK(y >= 0 && y < height_);
+    return data_ + static_cast<std::size_t>(y) * static_cast<std::size_t>(stride_);
+  }
+
+  /// Rectangular sub-view; the rectangle must lie fully inside this view.
+  [[nodiscard]] Span2d subview(int x0, int y0, int w, int h) const {
+    SSLIC_CHECK(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0);
+    SSLIC_CHECK(x0 + w <= width_ && y0 + h <= height_);
+    return {data_ + static_cast<std::size_t>(y0) * static_cast<std::size_t>(stride_) + x0,
+            w, h, stride_};
+  }
+
+ private:
+  T* data_ = nullptr;
+  int width_ = 0;
+  int height_ = 0;
+  int stride_ = 0;
+};
+
+}  // namespace sslic

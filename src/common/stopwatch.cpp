@@ -1,0 +1,38 @@
+#include "common/stopwatch.h"
+
+namespace sslic {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::elapsed_ms() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now - start_).count();
+}
+
+double Stopwatch::elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+void PhaseTimer::add(const std::string& name, double ms) { ms_[name] += ms; }
+
+double PhaseTimer::total_ms() const {
+  double total = 0.0;
+  for (const auto& [name, ms] : ms_) total += ms;
+  return total;
+}
+
+double PhaseTimer::phase_ms(const std::string& name) const {
+  const auto it = ms_.find(name);
+  return it == ms_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimer::phase_fraction(const std::string& name) const {
+  const double total = total_ms();
+  return total <= 0.0 ? 0.0 : phase_ms(name) / total;
+}
+
+void PhaseTimer::merge(const PhaseTimer& other) {
+  for (const auto& [name, ms] : other.phases()) ms_[name] += ms;
+}
+
+}  // namespace sslic

@@ -1,0 +1,72 @@
+// Wall-clock timing utilities used by the CPU-side experiments
+// (Fig. 2 quality-vs-time curves, Table 1 phase breakdown).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace sslic {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restarts the stopwatch.
+  void reset();
+
+  /// Elapsed time since construction/reset, in milliseconds.
+  [[nodiscard]] double elapsed_ms() const;
+
+  /// Elapsed time since construction/reset, in seconds.
+  [[nodiscard]] double elapsed_s() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates wall-clock time per named phase. Used by the instrumented
+/// SLIC implementations to reproduce Table 1's per-phase breakdown.
+class PhaseTimer {
+ public:
+  /// Adds `ms` milliseconds to phase `name`.
+  void add(const std::string& name, double ms);
+
+  /// Total across all phases, in milliseconds.
+  [[nodiscard]] double total_ms() const;
+
+  /// Accumulated milliseconds for `name` (0 if never recorded).
+  [[nodiscard]] double phase_ms(const std::string& name) const;
+
+  /// Fraction of the total spent in `name` (0 if total is 0).
+  [[nodiscard]] double phase_fraction(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, double>& phases() const { return ms_; }
+
+  void clear() { ms_.clear(); }
+
+  /// Merges another timer's accumulations into this one.
+  void merge(const PhaseTimer& other);
+
+ private:
+  std::map<std::string, double> ms_;
+};
+
+/// RAII helper: adds the scope's duration to `timer[name]` on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& timer, std::string name)
+      : timer_(timer), name_(std::move(name)) {}
+  ~ScopedPhase() { timer_.add(name_, watch_.elapsed_ms()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& timer_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace sslic

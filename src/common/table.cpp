@@ -1,0 +1,106 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sslic {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  SSLIC_CHECK_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    SSLIC_CHECK_MSG(row.size() == header_.size(),
+                    "row has " << row.size() << " cells, header has "
+                               << header_.size());
+  }
+  rows_.push_back({std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back({{}, true}); }
+
+void Table::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::si(double v, int digits) {
+  const char* suffix = "";
+  double scaled = v;
+  const double mag = std::fabs(v);
+  if (mag >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (mag >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (mag >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "k";
+  }
+  return num(scaled, digits) + suffix;
+}
+
+std::string Table::to_string() const {
+  // Column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+
+  std::vector<std::size_t> width(ncols, 0);
+  const auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) widen(r.cells);
+
+  std::size_t total = 0;
+  for (const auto w : width) total += w + 3;  // " | " separators
+  if (total > 0) total -= 1;
+
+  std::ostringstream os;
+  const auto hline = [&] { os << std::string(total, '-') << '\n'; };
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+    hline();
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << cell << std::string(width[i] - cell.size(), ' ');
+      os << (i + 1 < ncols ? " | " : "\n");
+    }
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator)
+      hline();
+    else
+      emit(r.cells);
+  }
+  for (const auto& note : notes_) os << "  * " << note << '\n';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+}  // namespace sslic

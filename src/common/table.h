@@ -1,0 +1,53 @@
+// ASCII table rendering for the benchmark harness. Every paper table/figure
+// bench prints its rows through this type so output is uniform and easy to
+// diff against the paper's published cells.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sslic {
+
+/// Column-aligned ASCII table with an optional title and footnotes.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds one data row; its size must match the header (if set).
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal separator between the rows added so far and later rows.
+  void add_separator();
+
+  /// Adds a footnote line printed under the table.
+  void add_note(std::string note);
+
+  /// Renders the table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: renders to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+  /// Formats a double with `digits` digits after the decimal point.
+  static std::string num(double v, int digits = 2);
+
+  /// Formats a value with an SI-style suffix (e.g. 1.5M, 318.0M).
+  static std::string si(double v, int digits = 1);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace sslic

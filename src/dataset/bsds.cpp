@@ -1,0 +1,112 @@
+#include "dataset/bsds.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sslic {
+namespace {
+
+[[noreturn]] void seg_fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error("bsds .seg error (" + path + "): " + why);
+}
+
+}  // namespace
+
+LabelImage read_bsds_seg(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) seg_fail(path, "cannot open for reading");
+
+  int width = -1;
+  int height = -1;
+  int segments = -1;
+  std::string line;
+  bool in_data = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key.empty()) continue;
+    if (key == "data") {
+      in_data = true;
+      break;
+    }
+    if (key == "width") ls >> width;
+    else if (key == "height") ls >> height;
+    else if (key == "segments") ls >> segments;
+    // other header keys (format/date/image/user/gray/invert/flipflop) are
+    // informational and skipped.
+  }
+  if (!in_data) seg_fail(path, "no data section");
+  if (width <= 0 || height <= 0) seg_fail(path, "missing width/height");
+  if (width > (1 << 15) || height > (1 << 15)) seg_fail(path, "absurd size");
+
+  LabelImage labels(width, height, -1);
+  int segment = 0, row = 0, col_first = 0, col_last = 0;
+  while (in >> segment >> row >> col_first >> col_last) {
+    if (segment < 0) seg_fail(path, "negative segment id");
+    if (row < 0 || row >= height) seg_fail(path, "row out of range");
+    if (col_first < 0 || col_last < col_first || col_last >= width)
+      seg_fail(path, "column run out of range");
+    for (int x = col_first; x <= col_last; ++x) labels(x, row) = segment;
+  }
+  for (const auto v : labels.pixels())
+    if (v < 0) seg_fail(path, "pixels left uncovered by the runs");
+  if (segments > 0) {
+    // The header's segment count is advisory; validate it loosely.
+    std::int32_t max_seen = 0;
+    for (const auto v : labels.pixels()) max_seen = std::max(max_seen, v);
+    if (max_seen >= segments * 4)
+      seg_fail(path, "segment ids wildly exceed the declared count");
+  }
+  return labels;
+}
+
+void write_bsds_seg(const std::string& path, const LabelImage& labels) {
+  std::ofstream out(path);
+  if (!out) seg_fail(path, "cannot open for writing");
+
+  std::int32_t max_label = 0;
+  for (const auto v : labels.pixels()) max_label = std::max(max_label, v);
+
+  out << "format ascii cr\n"
+      << "date written by sslic\n"
+      << "image 0\n"
+      << "user 0\n"
+      << "width " << labels.width() << '\n'
+      << "height " << labels.height() << '\n'
+      << "segments " << (max_label + 1) << '\n'
+      << "gray 0\n"
+      << "invert 0\n"
+      << "flipflop 0\n"
+      << "data\n";
+  for (int y = 0; y < labels.height(); ++y) {
+    int x = 0;
+    while (x < labels.width()) {
+      const std::int32_t label = labels(x, y);
+      int end = x;
+      while (end + 1 < labels.width() && labels(end + 1, y) == label) ++end;
+      out << label << ' ' << y << ' ' << x << ' ' << end << '\n';
+      x = end + 1;
+    }
+  }
+  if (!out) seg_fail(path, "write failed");
+}
+
+std::vector<LabelImage> read_bsds_annotators(
+    const std::vector<std::string>& seg_paths) {
+  std::vector<LabelImage> truths;
+  truths.reserve(seg_paths.size());
+  for (const auto& path : seg_paths) {
+    truths.push_back(read_bsds_seg(path));
+    if (truths.size() > 1 &&
+        (truths.back().width() != truths.front().width() ||
+         truths.back().height() != truths.front().height())) {
+      seg_fail(path, "annotator dimensions disagree with the first file");
+    }
+  }
+  return truths;
+}
+
+}  // namespace sslic

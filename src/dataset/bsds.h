@@ -1,0 +1,39 @@
+// Reader/writer for the Berkeley Segmentation Dataset ground-truth format
+// (".seg" files).
+//
+// The synthetic corpus substitutes for BSDS in this environment (DESIGN.md
+// §1), but the paper's experiments used the real dataset; this module lets
+// anyone with a BSDS copy run every quality bench on it. The format is the
+// documented BSDS human-segmentation file: an ASCII header terminated by
+// "data", followed by one run-length record per line:
+//
+//   format ascii cr
+//   ...
+//   width 481
+//   height 321
+//   segments 12
+//   data
+//   <segment> <row> <first-column> <last-column>     (all 0-based, inclusive)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+
+namespace sslic {
+
+/// Parses one .seg file into a label map. Throws std::runtime_error on
+/// malformed input (missing header fields, out-of-range runs, or pixels
+/// left uncovered).
+LabelImage read_bsds_seg(const std::string& path);
+
+/// Writes a label map in .seg format (one run per maximal row segment).
+void write_bsds_seg(const std::string& path, const LabelImage& labels);
+
+/// Loads all annotators of one image: every path in `seg_paths` must have
+/// the same dimensions.
+std::vector<LabelImage> read_bsds_annotators(
+    const std::vector<std::string>& seg_paths);
+
+}  // namespace sslic

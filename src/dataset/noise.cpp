@@ -1,0 +1,69 @@
+#include "dataset/noise.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sslic {
+namespace {
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+int wrap(int v, int period) {
+  const int m = v % period;
+  return m < 0 ? m + period : m;
+}
+
+}  // namespace
+
+ValueNoise::ValueNoise(Rng& rng, int period, double cell)
+    : period_(period), inv_cell_(1.0 / cell) {
+  SSLIC_CHECK(period >= 2 && cell > 0.0);
+  lattice_.resize(static_cast<std::size_t>(period) * static_cast<std::size_t>(period));
+  for (auto& v : lattice_) v = rng.next_double(-1.0, 1.0);
+}
+
+double ValueNoise::sample(double x, double y) const {
+  const double fx = x * inv_cell_;
+  const double fy = y * inv_cell_;
+  const int x0 = static_cast<int>(std::floor(fx));
+  const int y0 = static_cast<int>(std::floor(fy));
+  const double tx = smoothstep(fx - std::floor(fx));
+  const double ty = smoothstep(fy - std::floor(fy));
+
+  const auto at = [&](int ix, int iy) {
+    return lattice_[static_cast<std::size_t>(wrap(iy, period_)) *
+                        static_cast<std::size_t>(period_) +
+                    static_cast<std::size_t>(wrap(ix, period_))];
+  };
+  const double v00 = at(x0, y0), v10 = at(x0 + 1, y0);
+  const double v01 = at(x0, y0 + 1), v11 = at(x0 + 1, y0 + 1);
+  const double top = v00 + (v10 - v00) * tx;
+  const double bot = v01 + (v11 - v01) * tx;
+  return top + (bot - top) * ty;
+}
+
+FractalNoise::FractalNoise(Rng& rng, int octaves, double base_cell, double gain) {
+  SSLIC_CHECK(octaves >= 1 && octaves <= 10 && base_cell >= 2.0);
+  SSLIC_CHECK(gain > 0.0 && gain <= 1.0);
+  double amp = 1.0;
+  double cell = base_cell;
+  double total = 0.0;
+  for (int o = 0; o < octaves; ++o) {
+    layers_.emplace_back(rng, 17 + 2 * o, cell);
+    amplitude_.push_back(amp);
+    total += amp;
+    amp *= gain;
+    cell = std::max(2.0, cell * 0.5);
+  }
+  norm_ = 1.0 / total;
+}
+
+double FractalNoise::sample(double x, double y) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    acc += amplitude_[i] * layers_[i].sample(x, y);
+  return acc * norm_;
+}
+
+}  // namespace sslic

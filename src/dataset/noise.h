@@ -1,0 +1,48 @@
+// Deterministic lattice value noise with octave stacking.
+//
+// Used by the synthetic dataset generator for boundary warping (curved
+// region boundaries), illumination fields, and region texture. Value noise
+// (bilinear interpolation of random lattice values) is sufficient here; we
+// do not need gradient/Perlin noise's isotropy for these purposes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sslic {
+
+/// Single-octave lattice value noise over a wrapped lattice of a given
+/// period; evaluated at arbitrary (x, y) with bilinear interpolation and
+/// smoothstep easing. Output is in [-1, 1].
+class ValueNoise {
+ public:
+  /// `period` is the lattice size (wraps), `cell` the pixel size of one
+  /// lattice cell.
+  ValueNoise(Rng& rng, int period, double cell);
+
+  [[nodiscard]] double sample(double x, double y) const;
+
+ private:
+  int period_;
+  double inv_cell_;
+  std::vector<double> lattice_;  // period_^2 values in [-1, 1]
+};
+
+/// Multi-octave fractal value noise: sum of `octaves` ValueNoise layers,
+/// each with half the cell size and `gain` times the amplitude of the
+/// previous. Output normalized to [-1, 1].
+class FractalNoise {
+ public:
+  FractalNoise(Rng& rng, int octaves, double base_cell, double gain = 0.5);
+
+  [[nodiscard]] double sample(double x, double y) const;
+
+ private:
+  std::vector<ValueNoise> layers_;
+  std::vector<double> amplitude_;
+  double norm_ = 1.0;
+};
+
+}  // namespace sslic

@@ -1,0 +1,244 @@
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "color/color_convert.h"
+#include "common/check.h"
+#include "dataset/noise.h"
+
+namespace sslic {
+namespace {
+
+struct Site {
+  double x = 0.0;
+  double y = 0.0;
+  int region = 0;
+};
+
+/// The image-independent scene layout: Voronoi sites grouped into regions.
+struct Scene {
+  std::vector<Site> region_seeds;
+  std::vector<Site> sites;
+  int num_raw_regions = 0;  // region ids before rasterization/compaction
+};
+
+Scene build_scene(Rng& rng, const SyntheticParams& params) {
+  Scene scene;
+  const int num_regions = rng.next_int(params.min_regions, params.max_regions);
+  const int num_sites = num_regions * params.sites_per_region;
+  scene.num_raw_regions = num_regions;
+
+  scene.region_seeds.resize(static_cast<std::size_t>(num_regions));
+  for (auto& s : scene.region_seeds) {
+    s.x = rng.next_double(0.0, params.width);
+    s.y = rng.next_double(0.0, params.height);
+  }
+  scene.sites.resize(static_cast<std::size_t>(num_sites));
+  for (auto& s : scene.sites) {
+    s.x = rng.next_double(0.0, params.width);
+    s.y = rng.next_double(0.0, params.height);
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t r = 0; r < scene.region_seeds.size(); ++r) {
+      const double dx = s.x - scene.region_seeds[r].x;
+      const double dy = s.y - scene.region_seeds[r].y;
+      const double d = dx * dx + dy * dy;
+      if (d < best) {
+        best = d;
+        s.region = static_cast<int>(r);
+      }
+    }
+  }
+  return scene;
+}
+
+/// Rasterizes the scene's partition with a fresh warp field drawn from
+/// `warp_rng`. `merge_map`, when given, remaps raw region ids (annotator
+/// granularity disagreement). Output labels are compacted.
+LabelImage rasterize_partition(const Scene& scene, const SyntheticParams& params,
+                               Rng& warp_rng,
+                               const std::vector<std::int32_t>* merge_map,
+                               int* num_regions_out) {
+  FractalNoise warp_x(warp_rng, 2, params.warp_cell);
+  FractalNoise warp_y(warp_rng, 2, params.warp_cell);
+
+  LabelImage truth(params.width, params.height);
+  for (int y = 0; y < params.height; ++y) {
+    for (int x = 0; x < params.width; ++x) {
+      const double wx = x + params.warp_amplitude * warp_x.sample(x, y);
+      const double wy = y + params.warp_amplitude * warp_y.sample(x, y);
+      double best = std::numeric_limits<double>::max();
+      int best_region = 0;
+      for (const auto& s : scene.sites) {
+        const double dx = wx - s.x;
+        const double dy = wy - s.y;
+        const double d = dx * dx + dy * dy;
+        if (d < best) {
+          best = d;
+          best_region = s.region;
+        }
+      }
+      if (merge_map != nullptr)
+        best_region = (*merge_map)[static_cast<std::size_t>(best_region)];
+      truth(x, y) = best_region;
+    }
+  }
+  const int count = compact_labels(truth);
+  if (num_regions_out != nullptr) *num_regions_out = count;
+  return truth;
+}
+
+/// Renders the image for a compacted partition, consuming `rng` for colors,
+/// textures, and noise.
+RgbImage render_image(const LabelImage& truth, int num_regions,
+                      const SyntheticParams& params, Rng& rng) {
+  SSLIC_CHECK(params.palette_size >= 1);
+  struct BaseColor {
+    double L, a, b, texture_gain;
+  };
+  std::vector<BaseColor> palette(static_cast<std::size_t>(params.palette_size));
+  for (auto& c : palette) {
+    c.L = rng.next_double(25.0, 85.0);
+    c.a = rng.next_double(-38.0, 38.0);
+    c.b = rng.next_double(-38.0, 38.0);
+    c.texture_gain = 0.0;
+  }
+  std::vector<BaseColor> base(static_cast<std::size_t>(num_regions));
+  for (auto& c : base) {
+    const BaseColor& p = palette[rng.next_below(palette.size())];
+    c.L = p.L + params.palette_offset_sigma * rng.next_gaussian();
+    c.a = p.a + params.palette_offset_sigma * rng.next_gaussian();
+    c.b = p.b + params.palette_offset_sigma * rng.next_gaussian();
+    c.texture_gain = rng.next_double(0.4, 1.4);
+  }
+
+  Rng tex_rng = rng.fork();
+  FractalNoise texture(tex_rng, 3, 24.0);
+  FractalNoise texture_ab(tex_rng, 2, 32.0);
+  FractalNoise illumination(tex_rng, 2, 160.0);
+
+  RgbImage image(params.width, params.height);
+  for (int y = 0; y < params.height; ++y) {
+    for (int x = 0; x < params.width; ++x) {
+      const auto region = static_cast<std::size_t>(truth(x, y));
+      const BaseColor& c = base[region];
+      // Offset texture sampling per region so texture does not align across
+      // boundaries (regions look like different surfaces).
+      const double ox = static_cast<double>(region) * 71.0;
+      LabF lab;
+      lab.L = static_cast<float>(
+          c.L + params.illumination_amplitude * illumination.sample(x, y) +
+          params.texture_amplitude * c.texture_gain *
+              texture.sample(x + ox, y - ox) +
+          params.noise_sigma * rng.next_gaussian());
+      lab.a = static_cast<float>(c.a +
+                                 0.6 * params.texture_amplitude * c.texture_gain *
+                                     texture_ab.sample(x - ox, y + ox) +
+                                 params.noise_sigma * rng.next_gaussian());
+      lab.b = static_cast<float>(c.b +
+                                 0.6 * params.texture_amplitude * c.texture_gain *
+                                     texture_ab.sample(x + ox, y + ox) +
+                                 params.noise_sigma * rng.next_gaussian());
+      lab.L = std::clamp(lab.L, 0.0f, 100.0f);
+      lab.a = std::clamp(lab.a, -110.0f, 110.0f);
+      lab.b = std::clamp(lab.b, -110.0f, 110.0f);
+      image(x, y) = lab_to_srgb(lab);
+    }
+  }
+  return image;
+}
+
+void check_params(const SyntheticParams& params) {
+  SSLIC_CHECK(params.width >= 16 && params.height >= 16);
+  SSLIC_CHECK(params.min_regions >= 1 && params.max_regions >= params.min_regions);
+  SSLIC_CHECK(params.sites_per_region >= 1);
+}
+
+}  // namespace
+
+int compact_labels(LabelImage& labels) {
+  std::unordered_map<std::int32_t, std::int32_t> remap;
+  for (auto& label : labels.pixels()) {
+    const auto [it, inserted] =
+        remap.emplace(label, static_cast<std::int32_t>(remap.size()));
+    label = it->second;
+  }
+  return static_cast<int>(remap.size());
+}
+
+GroundTruthImage generate_synthetic(const SyntheticParams& params,
+                                    std::uint64_t seed) {
+  check_params(params);
+  Rng rng(seed);
+  const Scene scene = build_scene(rng, params);
+  Rng warp_rng = rng.fork();
+
+  GroundTruthImage out;
+  out.truth =
+      rasterize_partition(scene, params, warp_rng, nullptr, &out.num_regions);
+  out.image = render_image(out.truth, out.num_regions, params, rng);
+  return out;
+}
+
+SyntheticCorpus::SyntheticCorpus(SyntheticParams params, int size,
+                                 std::uint64_t base_seed)
+    : params_(params), size_(size), base_seed_(base_seed) {
+  SSLIC_CHECK(size >= 0);
+}
+
+GroundTruthImage SyntheticCorpus::generate(int index) const {
+  SSLIC_CHECK(index >= 0 && index < size_);
+  return generate_synthetic(params_, base_seed_ + static_cast<std::uint64_t>(index));
+}
+
+MultiAnnotatorImage generate_multi_annotator(const SyntheticParams& params,
+                                             std::uint64_t seed, int annotators) {
+  check_params(params);
+  SSLIC_CHECK(annotators >= 1 && annotators <= 16);
+
+  // Annotator 0 and the rendered image replicate generate_synthetic(seed)
+  // exactly (same RNG consumption order).
+  Rng rng(seed);
+  const Scene scene = build_scene(rng, params);
+  Rng warp_rng = rng.fork();
+
+  MultiAnnotatorImage out;
+  int num_regions = 0;
+  out.truths.push_back(
+      rasterize_partition(scene, params, warp_rng, nullptr, &num_regions));
+  out.image = render_image(out.truths.front(), num_regions, params, rng);
+
+  // Further annotators: fresh boundary warps (localization disagreement)
+  // plus random merges of region pairs (granularity disagreement).
+  for (int a = 1; a < annotators; ++a) {
+    Rng annotator_rng = rng.fork();
+    std::vector<std::int32_t> merge_map(
+        static_cast<std::size_t>(scene.num_raw_regions));
+    for (std::size_t r = 0; r < merge_map.size(); ++r)
+      merge_map[r] = static_cast<std::int32_t>(r);
+    for (std::size_t r = 0; r < merge_map.size(); ++r) {
+      if (!annotator_rng.next_bool(0.2) || merge_map.size() < 2) continue;
+      // Merge region r into its nearest other region (by seed distance).
+      double best = std::numeric_limits<double>::max();
+      std::size_t target = r;
+      for (std::size_t q = 0; q < merge_map.size(); ++q) {
+        if (q == r) continue;
+        const double dx = scene.region_seeds[r].x - scene.region_seeds[q].x;
+        const double dy = scene.region_seeds[r].y - scene.region_seeds[q].y;
+        const double d = dx * dx + dy * dy;
+        if (d < best) {
+          best = d;
+          target = q;
+        }
+      }
+      merge_map[r] = merge_map[target];
+    }
+    out.truths.push_back(
+        rasterize_partition(scene, params, annotator_rng, &merge_map, nullptr));
+  }
+  return out;
+}
+
+}  // namespace sslic

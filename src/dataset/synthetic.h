@@ -1,0 +1,97 @@
+// Synthetic Berkeley-like segmentation corpus.
+//
+// The paper evaluates on 100-200 images of the Berkeley Segmentation
+// Dataset (BSDS) with human ground-truth segmentations. BSDS is not
+// available in this environment, so this module synthesizes images with the
+// statistics the quality metrics actually depend on (see DESIGN.md §1):
+// piecewise-smooth color regions with curved boundaries, textured
+// interiors, global illumination variation, and sensor noise — together
+// with an exact ground-truth partition. Everything is deterministic in the
+// seed.
+//
+// Construction: Voronoi sites are scattered and merged into a target number
+// of regions via nearest region-seed assignment; the Voronoi metric is
+// warped by a smooth vector noise field so boundaries curve like natural
+// object contours. Each region receives a base CIELAB color; pixels add an
+// illumination field, per-region fractal texture, and Gaussian noise, then
+// convert to 8-bit sRGB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "image/image.h"
+
+namespace sslic {
+
+/// One synthetic test case: an image and its exact ground-truth partition.
+struct GroundTruthImage {
+  RgbImage image;
+  LabelImage truth;     // region index per pixel, in [0, num_regions)
+  int num_regions = 0;  // number of distinct ground-truth regions
+};
+
+/// Generation parameters. Defaults match BSDS-like statistics: 481x321
+/// images with ~6-30 human-perceived regions. Region colors are drawn from
+/// a small per-image palette, so some adjacent regions are nearly
+/// isochromatic — the "semantic but not photometric" boundaries that make
+/// human ground truth hard for color clustering (and give USE/boundary-
+/// recall realistic, non-saturated values).
+struct SyntheticParams {
+  int width = 481;
+  int height = 321;
+  int min_regions = 6;       ///< fewest ground-truth regions per image
+  int max_regions = 30;      ///< most ground-truth regions per image
+  int sites_per_region = 4;  ///< Voronoi granularity before merging
+  int palette_size = 5;      ///< distinct base colors shared by the regions
+  double palette_offset_sigma = 2.5;  ///< per-region deviation from palette
+  double warp_amplitude = 9.0;   ///< boundary curvature, in pixels
+  double warp_cell = 48.0;       ///< spatial scale of boundary warping
+  double texture_amplitude = 7.0;  ///< per-region Lab texture strength
+  double illumination_amplitude = 8.0;  ///< smooth lightness drift
+  double noise_sigma = 2.5;        ///< Gaussian sensor noise (Lab units)
+};
+
+/// Generates one image+ground-truth pair. Fully determined by (params, seed).
+GroundTruthImage generate_synthetic(const SyntheticParams& params,
+                                    std::uint64_t seed);
+
+/// One image with several "annotators" — BSDS images carry ~5 human
+/// segmentations that differ in boundary placement and granularity. Each
+/// synthetic annotator re-draws the region boundaries with its own warp
+/// field (localization disagreement, a few pixels) and may merge some
+/// adjacent region pairs (granularity disagreement). truths[0] is the
+/// partition the image was rendered from.
+struct MultiAnnotatorImage {
+  RgbImage image;
+  std::vector<LabelImage> truths;
+};
+
+/// Generates an image with `annotators` ground-truth segmentations
+/// (annotators >= 1). Deterministic in (params, seed, annotators).
+MultiAnnotatorImage generate_multi_annotator(const SyntheticParams& params,
+                                             std::uint64_t seed, int annotators);
+
+/// A corpus of deterministic synthetic images; image i is generated from
+/// `base_seed + i` on demand (no state is shared between indices, so
+/// corpora can be iterated in any order).
+class SyntheticCorpus {
+ public:
+  SyntheticCorpus(SyntheticParams params, int size, std::uint64_t base_seed = 1000);
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] GroundTruthImage generate(int index) const;
+  [[nodiscard]] const SyntheticParams& params() const { return params_; }
+
+ private:
+  SyntheticParams params_;
+  int size_ = 0;
+  std::uint64_t base_seed_ = 0;
+};
+
+/// Compacts labels to 0..n-1 preserving first-appearance order; returns the
+/// number of distinct labels. Exposed for reuse by metrics/segmentation code.
+int compact_labels(LabelImage& labels);
+
+}  // namespace sslic

@@ -1,0 +1,118 @@
+// Compile-time fixed-point arithmetic, modelling the HLS `ac_fixed` types
+// used in the paper's synthesizable C implementation (Section 5).
+//
+// Fixed<W, F> is a W-bit two's-complement value with F fractional bits
+// (so the represented value is raw / 2^F). Arithmetic saturates on overflow,
+// matching the saturation mode the accelerator datapath uses; conversion
+// from floating point rounds to nearest (ties away from zero), matching
+// AC_RND behaviour.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace sslic {
+
+/// W-bit signed fixed-point number with F fractional bits, saturating.
+/// Requires 1 <= W <= 32 and 0 <= F < W so intermediate products fit i64.
+template <int W, int F>
+class Fixed {
+  static_assert(W >= 1 && W <= 32, "width must be in [1,32]");
+  static_assert(F >= 0 && F < W, "fractional bits must be in [0,W)");
+
+ public:
+  static constexpr int kWidth = W;
+  static constexpr int kFracBits = F;
+  static constexpr std::int64_t kRawMax = (std::int64_t{1} << (W - 1)) - 1;
+  static constexpr std::int64_t kRawMin = -(std::int64_t{1} << (W - 1));
+  static constexpr double kScale = static_cast<double>(std::int64_t{1} << F);
+
+  constexpr Fixed() = default;
+
+  /// Constructs from a real value, rounding to nearest and saturating.
+  static constexpr Fixed from_double(double v) {
+    const double scaled = v * kScale;
+    const double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+    std::int64_t raw;
+    if (rounded >= static_cast<double>(kRawMax))
+      raw = kRawMax;
+    else if (rounded <= static_cast<double>(kRawMin))
+      raw = kRawMin;
+    else
+      raw = static_cast<std::int64_t>(rounded);
+    return from_raw_saturated(raw);
+  }
+
+  /// Constructs from an already-scaled raw integer, saturating.
+  static constexpr Fixed from_raw_saturated(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = raw > kRawMax ? kRawMax : (raw < kRawMin ? kRawMin : raw);
+    return f;
+  }
+
+  /// Constructs from a raw integer known to be in range (checked in debug).
+  static constexpr Fixed from_raw(std::int64_t raw) {
+    SSLIC_DCHECK(raw >= kRawMin && raw <= kRawMax);
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  [[nodiscard]] constexpr std::int64_t raw() const { return raw_; }
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(raw_) / kScale;
+  }
+
+  [[nodiscard]] static constexpr Fixed max() { return from_raw(kRawMax); }
+  [[nodiscard]] static constexpr Fixed min() { return from_raw(kRawMin); }
+  [[nodiscard]] static constexpr double resolution() { return 1.0 / kScale; }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    return from_raw_saturated(a.raw_ + b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    return from_raw_saturated(a.raw_ - b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a) { return from_raw_saturated(-a.raw_); }
+
+  /// Full-precision product re-quantized to (W, F) with round-to-nearest.
+  friend constexpr Fixed operator*(Fixed a, Fixed b) {
+    const std::int64_t prod = a.raw_ * b.raw_;  // fits: both <= 2^31
+    const std::int64_t half = std::int64_t{1} << (F > 0 ? F - 1 : 0);
+    const std::int64_t rounded =
+        F > 0 ? ((prod >= 0 ? prod + half : prod - half) >> F) : prod;
+    return from_raw_saturated(rounded);
+  }
+
+  friend constexpr bool operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(Fixed a, Fixed b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(Fixed a, Fixed b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator<=(Fixed a, Fixed b) { return a.raw_ <= b.raw_; }
+  friend constexpr bool operator>(Fixed a, Fixed b) { return a.raw_ > b.raw_; }
+  friend constexpr bool operator>=(Fixed a, Fixed b) { return a.raw_ >= b.raw_; }
+
+  Fixed& operator+=(Fixed other) { return *this = *this + other; }
+  Fixed& operator-=(Fixed other) { return *this = *this - other; }
+  Fixed& operator*=(Fixed other) { return *this = *this * other; }
+
+  /// Absolute value (saturates: |min| -> max).
+  [[nodiscard]] constexpr Fixed abs() const {
+    return raw_ < 0 ? from_raw_saturated(-raw_) : *this;
+  }
+
+ private:
+  std::int64_t raw_ = 0;
+};
+
+/// The accelerator's pixel/center component type: 8-bit integer-valued
+/// fixed point (Section 6.1 selects an 8-bit datapath).
+using Fx8 = Fixed<8, 0>;
+
+/// Wider accumulator used by the sigma registers (Section 4.3: accumulated
+/// L/a/b/x/y plus pixel count over up to a full superpixel's pixels).
+using FxAcc = Fixed<32, 0>;
+
+}  // namespace sslic

@@ -1,0 +1,50 @@
+#include "fixed/quantizer.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sslic {
+
+Quantizer::Quantizer(int total_bits, int frac_bits, Rounding rounding)
+    : total_bits_(total_bits), frac_bits_(frac_bits), rounding_(rounding) {
+  SSLIC_CHECK_MSG(total_bits >= 2 && total_bits <= 62,
+                  "total_bits=" << total_bits << " out of [2,62]");
+  SSLIC_CHECK(frac_bits >= 0 && frac_bits < total_bits);
+  scale_ = std::ldexp(1.0, frac_bits);
+  raw_max_ = std::ldexp(1.0, total_bits - 1) - 1.0;
+  raw_min_ = -std::ldexp(1.0, total_bits - 1);
+}
+
+double Quantizer::max_value() const {
+  return is_identity() ? std::numeric_limits<double>::max() : raw_max_ / scale_;
+}
+
+double Quantizer::min_value() const {
+  return is_identity() ? std::numeric_limits<double>::lowest() : raw_min_ / scale_;
+}
+
+double Quantizer::resolution() const { return is_identity() ? 0.0 : 1.0 / scale_; }
+
+double Quantizer::apply(double v) const {
+  if (is_identity()) return v;
+  double raw = v * scale_;
+  switch (rounding_) {
+    case Rounding::kNearest:
+      raw = raw >= 0.0 ? std::floor(raw + 0.5) : std::ceil(raw - 0.5);
+      break;
+    case Rounding::kTruncate:
+      raw = std::trunc(raw);
+      break;
+  }
+  if (raw > raw_max_) raw = raw_max_;
+  if (raw < raw_min_) raw = raw_min_;
+  return raw / scale_;
+}
+
+std::string Quantizer::name() const {
+  if (is_identity()) return "float64";
+  return "fx" + std::to_string(total_bits_ - frac_bits_) + "." +
+         std::to_string(frac_bits_);
+}
+
+}  // namespace sslic

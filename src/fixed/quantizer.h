@@ -1,0 +1,64 @@
+// Runtime-configurable quantization for the bit-width design-space
+// exploration (paper Section 6.1).
+//
+// The sweep varies the datapath width from 64-bit floating point down to
+// 4-bit fixed point. A compile-time Fixed<W,F> cannot express a runtime
+// sweep, so Quantizer models an arbitrary-width two's-complement datapath
+// at runtime: values are clamped to the representable range and rounded to
+// the representable grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace sslic {
+
+/// Rounding mode applied when a real value is quantized to the grid.
+enum class Rounding {
+  kNearest,   // round half away from zero (AC_RND)
+  kTruncate,  // round toward zero (AC_TRN)
+};
+
+/// Runtime-width fixed-point quantizer: `total_bits` two's-complement bits
+/// of which `frac_bits` are fractional. `total_bits == 0` means "no
+/// quantization" (the 64-bit floating-point reference configuration).
+class Quantizer {
+ public:
+  Quantizer() = default;  // identity (floating point reference)
+
+  Quantizer(int total_bits, int frac_bits, Rounding rounding = Rounding::kNearest);
+
+  /// The floating-point reference configuration (identity).
+  static Quantizer float64() { return Quantizer{}; }
+
+  /// True when this quantizer is the floating-point identity.
+  [[nodiscard]] bool is_identity() const { return total_bits_ == 0; }
+
+  [[nodiscard]] int total_bits() const { return total_bits_; }
+  [[nodiscard]] int frac_bits() const { return frac_bits_; }
+
+  /// Largest / smallest representable value.
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double min_value() const;
+
+  /// Grid step between adjacent representable values.
+  [[nodiscard]] double resolution() const;
+
+  /// Quantizes `v`: clamps to range and snaps to the grid.
+  [[nodiscard]] double apply(double v) const;
+
+  /// Human-readable description, e.g. "fx8.0" or "float64".
+  [[nodiscard]] std::string name() const;
+
+ private:
+  int total_bits_ = 0;  // 0 => identity
+  int frac_bits_ = 0;
+  Rounding rounding_ = Rounding::kNearest;
+  double scale_ = 1.0;
+  double raw_max_ = 0.0;
+  double raw_min_ = 0.0;
+};
+
+}  // namespace sslic

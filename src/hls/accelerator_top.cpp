@@ -1,0 +1,295 @@
+#include "hls/accelerator_top.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "color/lut_color_unit.h"
+#include "common/check.h"
+#include "hls/datapath_units.h"
+#include "slic/connectivity.h"
+#include "slic/grid.h"
+#include "slic/subset_schedule.h"
+
+namespace sslic::hls {
+namespace {
+
+/// Distance-register reduction shift, identical to HwSlic's derivation.
+int derive_distance_shift(int register_bits, double spacing,
+                          std::int32_t weight_q8) {
+  if (register_bits == 0) return 0;
+  const double max_ds2 = 2.0 * (2.0 * spacing) * (2.0 * spacing);
+  const double max_combined = 3.0 * 255.0 * 255.0 + (weight_q8 * max_ds2) / 256.0;
+  int bits_needed = 1;
+  while (std::ldexp(1.0, bits_needed) <= max_combined) ++bits_needed;
+  return std::max(0, bits_needed - register_bits);
+}
+
+}  // namespace
+
+AcceleratorTop::AcceleratorTop(HwConfig algorithm, hw::AcceleratorDesign design,
+                               const hw::DramModel& dram)
+    : algorithm_(algorithm), design_(design), dram_(dram) {
+  SSLIC_CHECK(algorithm_.num_superpixels >= 1);
+  SSLIC_CHECK(algorithm_.iterations >= 1);
+  SSLIC_CHECK(design_.channel_buffer_bytes >= 64.0);
+}
+
+HlsRunResult AcceleratorTop::run(const RgbImage& frame) const {
+  SSLIC_CHECK(!frame.empty());
+  const int w = frame.width();
+  const int h = frame.height();
+  const auto n = static_cast<std::uint64_t>(frame.size());
+  const double bw = dram_.bytes_per_cycle;
+  const auto latency = static_cast<std::uint64_t>(dram_.latency_cycles);
+
+  HlsRunResult result;
+  hw::CycleReport& cyc = result.cycles;
+
+  // ------------------------------------------------------------------
+  // FSM state 1: color conversion. RGB streams from external memory
+  // through the LUT unit into Lab planes (external memory holds the planes
+  // between phases — the 20 kB of pads cannot hold a frame).
+  // ------------------------------------------------------------------
+  const LutColorUnit color_unit(algorithm_.color);
+  const Planar8 planes = color_unit.convert(frame);
+  {
+    const std::uint64_t conv_bytes = 6 * n;
+    cyc.conv_cycles = std::max<std::uint64_t>(
+        n + 16,
+        latency + static_cast<std::uint64_t>(static_cast<double>(conv_bytes) / bw));
+    cyc.dram_bytes += conv_bytes;
+    cyc.dram_requests += 1;
+  }
+
+  // ------------------------------------------------------------------
+  // FSM state 2: static initialization (precomputed offline per Section
+  // 4.3 — not charged cycles).
+  // ------------------------------------------------------------------
+  const CenterGrid grid(w, h, algorithm_.num_superpixels);
+  const std::vector<CandidateList> candidates = build_candidate_map(grid);
+  const SubsetSchedule schedule =
+      SubsetSchedule::from_ratio(algorithm_.subsample_ratio);
+  const auto weight_q8 = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::lround(
+             algorithm_.compactness * algorithm_.compactness /
+             (grid.spacing() * grid.spacing()) * 256.0)));
+  ColorDistanceCalculator distance_unit;
+  distance_unit.weight_q8 = weight_q8;
+  distance_unit.register_bits = algorithm_.distance_register_bits;
+  distance_unit.register_shift = derive_distance_shift(
+      algorithm_.distance_register_bits, grid.spacing(), weight_q8);
+
+  const int num_centers = grid.num_centers();
+  std::vector<CenterRegs> center_table(static_cast<std::size_t>(num_centers));
+  for (int gy = 0; gy < grid.ny(); ++gy) {
+    for (int gx = 0; gx < grid.nx(); ++gx) {
+      const int px = std::clamp(static_cast<int>(grid.center_pos_x(gx)), 0, w - 1);
+      const int py = std::clamp(static_cast<int>(grid.center_pos_y(gy)), 0, h - 1);
+      CenterRegs& c =
+          center_table[static_cast<std::size_t>(grid.center_index(gx, gy))];
+      c.L = planes.ch1(px, py);
+      c.a = planes.ch2(px, py);
+      c.b = planes.ch3(px, py);
+      c.x = px;
+      c.y = py;
+      c.global_id = grid.center_index(gx, gy);
+    }
+  }
+  result.segmentation.labels = initial_labels(grid);
+  LabelImage& labels = result.segmentation.labels;
+
+  // Center update unit's accumulation table (one entry per SP).
+  std::vector<SigmaRegs> accumulation(static_cast<std::size_t>(num_centers));
+
+  // The four scratch pads (ch1/ch2/ch3/index), each channel_buffer_bytes.
+  const auto pad_capacity = static_cast<std::size_t>(design_.channel_buffer_bytes);
+  std::vector<std::uint8_t> pad_ch1(pad_capacity), pad_ch2(pad_capacity),
+      pad_ch3(pad_capacity);
+  std::vector<std::int32_t> pad_index(pad_capacity);
+
+  // Tile geometry in raster order.
+  struct Tile {
+    int x0, x1, y0, y1;
+    std::int32_t id;
+  };
+  std::vector<Tile> tiles;
+  tiles.reserve(static_cast<std::size_t>(num_centers));
+  for (int gy = 0; gy < grid.ny(); ++gy) {
+    const int y0 = gy * h / grid.ny();
+    const int y1 = (gy + 1) * h / grid.ny();
+    for (int gx = 0; gx < grid.nx(); ++gx) {
+      tiles.push_back({gx * w / grid.nx(), (gx + 1) * w / grid.nx(), y0, y1,
+                       grid.center_index(gx, gy)});
+    }
+  }
+
+  const auto per_tile_fill = static_cast<std::uint64_t>(
+      hw::ClusterUnit(design_.cluster).latency_cycles());
+  const auto ii =
+      static_cast<std::uint64_t>(hw::ClusterUnit(design_.cluster).initiation_interval());
+
+  CenterRegisterFile center_regs;
+  SigmaRegisterFile sigma_regs;
+
+  // ------------------------------------------------------------------
+  // FSM state 3: cluster update iterations.
+  // ------------------------------------------------------------------
+  for (int iter = 0; iter < algorithm_.iterations; ++iter) {
+    std::size_t t = 0;
+    while (t < tiles.size()) {
+      // --- Load a tile group into the pads (single-buffered). ---
+      std::size_t group_begin = t;
+      std::size_t fill = 0;
+      std::uint64_t in_bytes = 0;
+      while (t < tiles.size()) {
+        const Tile& tile = tiles[t];
+        const auto tile_pixels = static_cast<std::size_t>(
+            (tile.x1 - tile.x0) * (tile.y1 - tile.y0));
+        SSLIC_CHECK_MSG(tile_pixels <= pad_capacity,
+                        "tile (" << tile_pixels
+                                 << " px) exceeds the channel buffer ("
+                                 << pad_capacity << " B)");
+        if (t > group_begin && fill + tile_pixels > pad_capacity) break;
+
+        std::uint64_t active = 0;
+        for (int y = tile.y0; y < tile.y1; ++y) {
+          for (int x = tile.x0; x < tile.x1; ++x) {
+            const std::size_t slot = fill++;
+            pad_ch1[slot] = planes.ch1(x, y);
+            pad_ch2[slot] = planes.ch2(x, y);
+            pad_ch3[slot] = planes.ch3(x, y);
+            pad_index[slot] = labels(x, y);
+            active += schedule.active(x, y, iter) ? 1u : 0u;
+          }
+        }
+        // DRAM charge: subset-aware channel rows + full index + centers.
+        in_bytes += 3 * active + tile_pixels + 16;
+        ++t;
+      }
+      const std::size_t group_end = t;
+      cyc.dram_stall_cycles +=
+          latency + static_cast<std::uint64_t>(static_cast<double>(in_bytes) / bw);
+      cyc.dram_bytes += in_bytes;
+      cyc.dram_requests += 1;
+
+      // --- Process each resident tile through the cluster update unit. ---
+      std::size_t base = 0;
+      for (std::size_t g = group_begin; g < group_end; ++g) {
+        const Tile& tile = tiles[g];
+        const CandidateList& cand = candidates[static_cast<std::size_t>(tile.id)];
+        for (int slot = 0; slot < 9; ++slot)
+          center_regs.load(slot,
+                           center_table[static_cast<std::size_t>(
+                               cand[static_cast<std::size_t>(slot)])]);
+        sigma_regs.clear();
+        cyc.tile_overhead_cycles +=
+            per_tile_fill +
+            static_cast<std::uint64_t>(design_.center_load_cycles_per_tile);
+
+        std::size_t offset = base;
+        for (int y = tile.y0; y < tile.y1; ++y) {
+          for (int x = tile.x0; x < tile.x1; ++x) {
+            const std::size_t slot_addr = offset++;
+            if (!schedule.active(x, y, iter)) continue;
+
+            PixelRegs pixel;
+            pixel.L = pad_ch1[slot_addr];
+            pixel.a = pad_ch2[slot_addr];
+            pixel.b = pad_ch3[slot_addr];
+            pixel.x = x;
+            pixel.y = y;
+
+            std::array<std::int32_t, 9> distances{};
+            for (int slot = 0; slot < 9; ++slot)
+              distances[static_cast<std::size_t>(slot)] =
+                  distance_unit.compute(pixel, center_regs.at(slot));
+            const int winner = MinimumFunction9::select(distances);
+
+            pad_index[slot_addr] = center_regs.at(winner).global_id;
+            sigma_regs.accumulate(winner, pixel);
+            cyc.cluster_pixel_cycles += ii;
+          }
+        }
+        base += static_cast<std::size_t>((tile.x1 - tile.x0) *
+                                         (tile.y1 - tile.y0));
+
+        // Spill the 9 sigma registers to the center update unit. Duplicate
+        // candidate slots (clamped borders) hold zero except the lowest.
+        for (int slot = 0; slot < 9; ++slot) {
+          const std::int32_t id = cand[static_cast<std::size_t>(slot)];
+          accumulation[static_cast<std::size_t>(id)] += sigma_regs.at(slot);
+        }
+        cyc.tile_overhead_cycles +=
+            static_cast<std::uint64_t>(design_.sigma_transfer_cycles_per_tile);
+        cyc.tiles_processed += 1;
+      }
+
+      // --- Store the index pad back to external memory. ---
+      std::uint64_t out_bytes = 0;
+      std::size_t store_offset = 0;
+      for (std::size_t g = group_begin; g < group_end; ++g) {
+        const Tile& tile = tiles[g];
+        for (int y = tile.y0; y < tile.y1; ++y)
+          for (int x = tile.x0; x < tile.x1; ++x)
+            labels(x, y) = pad_index[store_offset++];
+        out_bytes += static_cast<std::uint64_t>((tile.x1 - tile.x0) *
+                                                (tile.y1 - tile.y0));
+      }
+      cyc.dram_stall_cycles +=
+          latency + static_cast<std::uint64_t>(static_cast<double>(out_bytes) / bw);
+      cyc.dram_bytes += out_bytes;
+      cyc.dram_requests += 1;
+    }
+
+    // --- FSM state 4: center update unit. ---
+    IterationStats stats;
+    stats.iteration = iter;
+    double movement = 0.0;
+    std::size_t updated = 0;
+    for (auto& center : center_table) {
+      SigmaRegs& s = accumulation[static_cast<std::size_t>(center.global_id)];
+      if (s.count == 0) continue;
+      const CenterRegs next{CenterUpdateDivider::divide(s.L, s.count),
+                            CenterUpdateDivider::divide(s.a, s.count),
+                            CenterUpdateDivider::divide(s.b, s.count),
+                            CenterUpdateDivider::divide(s.x, s.count),
+                            CenterUpdateDivider::divide(s.y, s.count),
+                            center.global_id};
+      movement += std::abs(next.x - center.x) + std::abs(next.y - center.y);
+      center = next;
+      ++updated;
+      s.clear();
+    }
+    stats.center_movement = updated == 0 ? 0.0 : movement / static_cast<double>(updated);
+    result.segmentation.trace.push_back(stats);
+    result.segmentation.iterations_run = iter + 1;
+    cyc.center_update_cycles +=
+        static_cast<std::uint64_t>(num_centers) *
+        static_cast<std::uint64_t>(design_.divisions_per_center) *
+        static_cast<std::uint64_t>(design_.divider_steps_per_division);
+    cyc.dram_bytes += static_cast<std::uint64_t>(num_centers) * 8;
+    cyc.iterations += 1;
+  }
+
+  cyc.total_cycles = cyc.conv_cycles + cyc.cluster_pixel_cycles +
+                     cyc.tile_overhead_cycles + cyc.center_update_cycles +
+                     cyc.dram_stall_cycles;
+
+  // Export final centers (decoded Lab8) like the golden model does.
+  result.segmentation.centers.resize(center_table.size());
+  for (std::size_t i = 0; i < center_table.size(); ++i) {
+    const LabF lab = decode_lab8({static_cast<std::uint8_t>(center_table[i].L),
+                                  static_cast<std::uint8_t>(center_table[i].a),
+                                  static_cast<std::uint8_t>(center_table[i].b)});
+    result.segmentation.centers[i] = {
+        static_cast<double>(lab.L), static_cast<double>(lab.a),
+        static_cast<double>(lab.b), static_cast<double>(center_table[i].x),
+        static_cast<double>(center_table[i].y)};
+  }
+
+  if (algorithm_.enforce_connectivity)
+    enforce_connectivity(result.segmentation.labels, algorithm_.num_superpixels);
+  return result;
+}
+
+}  // namespace sslic::hls

@@ -1,0 +1,64 @@
+// The S-SLIC accelerator top in synthesizable-C style (paper Fig. 4,
+// Section 4.3) — the closest thing in this repository to the C++ source
+// the paper fed to Catapult.
+//
+// Differences from the algorithmic golden model (slic/hw_datapath.h):
+//   * explicit bounded scratch pads (four, sized by the per-channel buffer
+//     of the design point) with capacity contracts — a tile group that
+//     does not fit is a hardware bug and throws;
+//   * the cluster update unit really owns only 9 center-register slots and
+//     9 six-field sigma registers, loaded per tile and spilled to the
+//     center update unit afterwards (Fig. 4's structure), instead of
+//     global arrays;
+//   * the FSM walks the Section-4.3 schedule (load tile group -> process
+//     pixels -> store index -> ... -> center update) and counts cycles as
+//     it goes, so the run produces the *label map and the cycle count from
+//     one execution* — like an RTL simulation of the netlist.
+//
+// The label map is bit-exact with HwSlic; the cycle count agrees with the
+// standalone CycleSimulator (both are checked by tests/test_hls.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/accelerator_model.h"
+#include "hw/cycle_sim.h"
+#include "hw/dram_model.h"
+#include "slic/hw_datapath.h"
+#include "slic/types.h"
+
+namespace sslic::hls {
+
+/// Result of one frame: the segmentation and where the cycles went.
+struct HlsRunResult {
+  Segmentation segmentation;
+  hw::CycleReport cycles;
+
+  [[nodiscard]] double seconds(double clock_hz) const {
+    return cycles.seconds(clock_hz);
+  }
+};
+
+/// The accelerator top: algorithm configuration (HwConfig) plus the
+/// physical design point (buffer size and micro-architecture constants
+/// from AcceleratorDesign; resolution fields of the design are ignored —
+/// the frame defines them).
+class AcceleratorTop {
+ public:
+  AcceleratorTop(HwConfig algorithm, hw::AcceleratorDesign design,
+                 const hw::DramModel& dram = hw::default_dram_model());
+
+  /// Executes one frame through the FSM schedule.
+  [[nodiscard]] HlsRunResult run(const RgbImage& frame) const;
+
+  [[nodiscard]] const HwConfig& algorithm() const { return algorithm_; }
+  [[nodiscard]] const hw::AcceleratorDesign& design() const { return design_; }
+
+ private:
+  HwConfig algorithm_;
+  hw::AcceleratorDesign design_;
+  hw::DramModel dram_;
+};
+
+}  // namespace sslic::hls

@@ -1,0 +1,147 @@
+// The Cluster Update Unit's datapath blocks in synthesizable-C style
+// (paper Fig. 4): pixel/center register files, the bank of nine color
+// distance calculators, the 9:1 minimum function, and the sigma register
+// file. Everything is fixed-size, allocation-free, and integer-only — the
+// shapes Catapult maps to registers and combinational logic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.h"
+#include "slic/hw_datapath.h"
+
+namespace sslic::hls {
+
+/// The five 8-bit pixel registers of Fig. 4: L, a, b plus the pixel
+/// coordinates supplied by the FSM.
+struct PixelRegs {
+  std::uint8_t L = 0;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+};
+
+/// One center's five registers (Lab8 color + position).
+struct CenterRegs {
+  std::int32_t L = 0;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t global_id = -1;  ///< which SP these registers currently hold
+};
+
+/// The 9-entry center register file ("45 (5x9) registers", Section 4.3).
+class CenterRegisterFile {
+ public:
+  void load(int slot, const CenterRegs& regs) {
+    SSLIC_DCHECK(slot >= 0 && slot < 9);
+    regs_[static_cast<std::size_t>(slot)] = regs;
+  }
+  [[nodiscard]] const CenterRegs& at(int slot) const {
+    SSLIC_DCHECK(slot >= 0 && slot < 9);
+    return regs_[static_cast<std::size_t>(slot)];
+  }
+
+ private:
+  std::array<CenterRegs, 9> regs_{};
+};
+
+/// One color distance calculator (Fig. 4 instantiates nine): Eq. 5 in
+/// integer arithmetic, optionally reduced to an n-bit distance register.
+struct ColorDistanceCalculator {
+  std::int32_t weight_q8 = 64;  ///< round(m^2/S^2 * 256)
+  int register_bits = 0;        ///< 0 = exact; 8 models the paper's register
+  int register_shift = 0;
+
+  [[nodiscard]] std::int32_t compute(const PixelRegs& pixel,
+                                     const CenterRegs& center) const {
+    const Lab8 color{pixel.L, pixel.a, pixel.b};
+    const HwCenter hw_center{center.L, center.a, center.b, center.x, center.y};
+    return HwSlic::quantize_distance(
+        HwSlic::integer_distance(color, pixel.x, pixel.y, hw_center, weight_q8),
+        register_bits, register_shift);
+  }
+};
+
+/// The 9:1 minimum function: returns the slot of the smallest distance,
+/// lowest slot winning ties (as a comparator tree does).
+class MinimumFunction9 {
+ public:
+  [[nodiscard]] static int select(const std::array<std::int32_t, 9>& distances) {
+    int best_slot = 0;
+    std::int32_t best = distances[0];
+    for (int slot = 1; slot < 9; ++slot) {
+      if (distances[static_cast<std::size_t>(slot)] < best) {
+        best = distances[static_cast<std::size_t>(slot)];
+        best_slot = slot;
+      }
+    }
+    return best_slot;
+  }
+};
+
+/// One sigma register: six fields (Section 4.3) — accumulated L, a, b,
+/// x, y and the member-pixel count.
+struct SigmaRegs {
+  std::int64_t L = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t count = 0;
+
+  void accumulate(const PixelRegs& pixel) {
+    L += pixel.L;
+    a += pixel.a;
+    b += pixel.b;
+    x += pixel.x;
+    y += pixel.y;
+    count += 1;
+  }
+
+  SigmaRegs& operator+=(const SigmaRegs& other) {
+    L += other.L;
+    a += other.a;
+    b += other.b;
+    x += other.x;
+    y += other.y;
+    count += other.count;
+    return *this;
+  }
+
+  void clear() { *this = SigmaRegs{}; }
+};
+
+/// The cluster update unit's local 9-entry sigma register file; spilled to
+/// the center update unit after each tile.
+class SigmaRegisterFile {
+ public:
+  void clear() {
+    for (auto& s : regs_) s.clear();
+  }
+  void accumulate(int slot, const PixelRegs& pixel) {
+    SSLIC_DCHECK(slot >= 0 && slot < 9);
+    regs_[static_cast<std::size_t>(slot)].accumulate(pixel);
+  }
+  [[nodiscard]] const SigmaRegs& at(int slot) const {
+    SSLIC_DCHECK(slot >= 0 && slot < 9);
+    return regs_[static_cast<std::size_t>(slot)];
+  }
+
+ private:
+  std::array<SigmaRegs, 9> regs_{};
+};
+
+/// The center update unit's divider: rounded integer division, one field
+/// at a time (iterative in hardware).
+struct CenterUpdateDivider {
+  [[nodiscard]] static std::int32_t divide(std::int64_t sum, std::int64_t count) {
+    SSLIC_DCHECK(count > 0);
+    return static_cast<std::int32_t>((sum + count / 2) / count);
+  }
+};
+
+}  // namespace sslic::hls

@@ -1,0 +1,61 @@
+// Fixed-capacity FIFO stream, the inter-process channel primitive of
+// HLS-style hardware descriptions (ac_channel / hls::stream equivalents).
+//
+// Capacity is a compile-time constant (a real FIFO's depth); overflow and
+// underflow are contract violations, exactly as an ac_channel assert would
+// fire in C simulation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace sslic::hls {
+
+/// Bounded single-producer single-consumer FIFO.
+template <typename T, std::size_t Depth>
+class Stream {
+  static_assert(Depth >= 1, "a FIFO needs at least one slot");
+
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool full() const { return count_ == Depth; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] static constexpr std::size_t depth() { return Depth; }
+
+  /// Writes one element; a full FIFO is a deadlock in hardware -> contract
+  /// violation in simulation.
+  void write(const T& value) {
+    SSLIC_CHECK_MSG(!full(), "FIFO overflow (depth " << Depth << ")");
+    buffer_[(head_ + count_) % Depth] = value;
+    ++count_;
+  }
+
+  /// Reads one element; reading an empty FIFO is likewise a deadlock.
+  T read() {
+    SSLIC_CHECK_MSG(!empty(), "FIFO underflow");
+    T value = buffer_[head_];
+    head_ = (head_ + 1) % Depth;
+    --count_;
+    return value;
+  }
+
+  /// Non-destructive front access.
+  [[nodiscard]] const T& front() const {
+    SSLIC_CHECK_MSG(!empty(), "FIFO underflow (front)");
+    return buffer_[head_];
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::array<T, Depth> buffer_{};
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sslic::hls

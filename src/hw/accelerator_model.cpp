@@ -1,0 +1,143 @@
+#include "hw/accelerator_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "slic/grid.h"
+
+namespace sslic::hw {
+
+AcceleratorModel::AcceleratorModel(AcceleratorDesign design,
+                                   const EnergyModel& energy,
+                                   const AreaModel& area, const DramModel& dram)
+    : design_(design), energy_(energy), area_model_(area), dram_(dram) {
+  SSLIC_CHECK(design_.width >= 16 && design_.height >= 16);
+  SSLIC_CHECK(design_.num_superpixels >= 1);
+  SSLIC_CHECK(design_.subsample_ratio > 0.0 && design_.subsample_ratio <= 1.0);
+  SSLIC_CHECK(design_.full_sweeps >= 1);
+  SSLIC_CHECK(design_.channel_buffer_bytes >= 256.0);
+  SSLIC_CHECK(design_.num_cores >= 1);
+  SSLIC_CHECK(design_.clock_hz > 0.0);
+  SSLIC_CHECK_MSG(design_.voltage_v >= 0.4 && design_.voltage_v <= 1.0,
+                  "voltage " << design_.voltage_v << " outside [0.4, 1.0]");
+}
+
+double AcceleratorModel::area_mm2() const {
+  const ClusterUnit cluster(design_.cluster, energy_, area_model_);
+  const double pads = 4.0 * area_model_.scratchpad(design_.channel_buffer_bytes);
+  const double per_core = cluster.area_mm2() + pads;
+  return design_.num_cores * per_core + area_model_.color_conversion_unit +
+         area_model_.center_update_unit + area_model_.host_fsm +
+         area_model_.dram_interface;
+}
+
+FrameReport AcceleratorModel::evaluate() const {
+  const ClusterUnit cluster(design_.cluster, energy_, area_model_);
+  FrameReport r;
+
+  const double n =
+      static_cast<double>(design_.width) * static_cast<double>(design_.height);
+  const CenterGrid grid(design_.width, design_.height, design_.num_superpixels);
+  r.grid_nx = grid.nx();
+  r.grid_ny = grid.ny();
+  r.num_centers = static_cast<std::uint64_t>(grid.num_centers());
+  const double tiles = static_cast<double>(grid.num_centers());
+
+  const double subset_count = std::round(1.0 / design_.subsample_ratio);
+  r.subset_iterations =
+      static_cast<std::uint64_t>(design_.full_sweeps * subset_count);
+  const double iters = static_cast<double>(r.subset_iterations);
+  const double visited_per_iter = n * design_.subsample_ratio;
+
+  const double f = design_.clock_hz;
+  const double cores = design_.num_cores;
+
+  // --- Color conversion: streaming unit, II = 1; DRAM in (RGB, 3 B/px) and
+  // out (Lab planes, 3 B/px) overlap with compute. ---
+  const double conv_compute_s = (n + 16.0) / f;  // small pipeline fill
+  const double conv_bytes = 6.0 * n;
+  const double conv_mem_s =
+      dram_.transfer_seconds(conv_bytes, design_.channel_buffer_bytes, f);
+  r.color_conversion_s = std::max(conv_compute_s, conv_mem_s);
+
+  // --- Cluster update: per subset iteration. ---
+  const double pixel_cycles =
+      visited_per_iter * cluster.initiation_interval() / cores;
+  const double tile_overhead_cycles =
+      tiles * (cluster.latency_cycles() +
+               design_.sigma_transfer_cycles_per_tile +
+               design_.center_load_cycles_per_tile) / cores;
+  const double cluster_compute_per_iter_s =
+      (pixel_cycles + tile_overhead_cycles) / f;
+
+  const double center_cycles_per_iter =
+      tiles * design_.divisions_per_center * design_.divider_steps_per_division;
+  const double center_per_iter_s = center_cycles_per_iter / f;
+
+  // DRAM per iteration: channel data for visited pixels (the row-interleaved
+  // subsets let whole bursts be skipped), the index map in and out for the
+  // whole frame, and the center records (16 B each, read + write).
+  const double cluster_bytes_per_iter =
+      3.0 * visited_per_iter + 2.0 * n + 16.0 * tiles;
+  const double cluster_mem_per_iter_s = dram_.transfer_seconds(
+      cluster_bytes_per_iter, design_.channel_buffer_bytes, f);
+
+  r.cluster_compute_s = iters * cluster_compute_per_iter_s;
+  r.center_update_s = iters * center_per_iter_s;
+  r.cluster_memory_s = iters * cluster_mem_per_iter_s;
+
+  // Single-buffered scratch pads: load, process, store are serial (the
+  // rate-matching role of the buffers, Section 6.3).
+  r.total_s = r.color_conversion_s + r.cluster_compute_s + r.center_update_s +
+              r.cluster_memory_s;
+  r.fps = 1.0 / r.total_s;
+  r.memory_time_fraction = r.cluster_memory_s / r.total_s;
+  r.dram_bytes = conv_bytes + iters * cluster_bytes_per_iter;
+
+  // --- Energy. ---
+  const double visited_total = iters * visited_per_iter;
+  r.cluster_energy_j = cluster.energy_per_pixel_pj() * 1e-12 * visited_total;
+  r.conv_energy_j = design_.conv_energy_per_pixel_pj * 1e-12 * n;
+  r.center_energy_j = energy_.divider_step_pj * 1e-12 * iters * tiles *
+                      design_.divisions_per_center *
+                      design_.divider_steps_per_division;
+
+  // Full-utilization assumption for scratch pads and the DRAM interface
+  // (paper Section 6.3): power = peak, energy = peak power * frame time.
+  const double pad_kb = design_.channel_buffer_bytes / 1024.0;
+  const double sram_peak_w = 4.0 * cores *
+                             energy_.sram_access_pj_per_byte(pad_kb) * 1e-12 * f;
+  r.sram_energy_j = sram_peak_w * r.total_s;
+  const double phy_peak_w =
+      dram_.bytes_per_cycle * f * energy_.dram_phy_pj_per_byte * 1e-12;
+  r.phy_energy_j = phy_peak_w * r.total_s;
+
+  // DVFS: all dynamic energies scale with (V/Vnom)^2, leakage ~linearly.
+  const double v_ratio = design_.voltage_v / 0.72;
+  const double dvfs_dynamic = v_ratio * v_ratio;
+  r.cluster_energy_j *= dvfs_dynamic;
+  r.conv_energy_j *= dvfs_dynamic;
+  r.center_energy_j *= dvfs_dynamic;
+  r.sram_energy_j *= dvfs_dynamic;
+  r.phy_energy_j *= dvfs_dynamic;
+
+  const double compute_dynamic =
+      r.cluster_energy_j + r.conv_energy_j + r.center_energy_j;
+  r.clock_energy_j = energy_.clock_overhead_fraction * compute_dynamic;
+  r.area_mm2 = area_mm2();
+  r.leakage_energy_j =
+      energy_.leakage_mw_per_mm2 * 1e-3 * r.area_mm2 * r.total_s * v_ratio;
+
+  r.energy_per_frame_j = compute_dynamic + r.sram_energy_j + r.phy_energy_j +
+                         r.clock_energy_j + r.leakage_energy_j;
+  r.average_power_w = r.energy_per_frame_j / r.total_s;
+  r.dram_device_energy_j = r.dram_bytes * energy_.dram_device_pj_per_byte * 1e-12;
+
+  r.fps_per_mm2 = r.fps / r.area_mm2;
+  // 4 scratch pads + color LUTs (~0.5 kB) + pipeline registers (~0.5 kB).
+  r.onchip_storage_bytes = 4.0 * design_.channel_buffer_bytes * cores + 1024.0;
+  return r;
+}
+
+}  // namespace sslic::hw

@@ -1,0 +1,113 @@
+// Full-accelerator performance / power / energy / area model (paper
+// Sections 4.3, 6.3, 7; Tables 3-5; Fig. 6).
+//
+// The model costs the exact FSM schedule of the golden datapath model
+// (slic/hw_datapath.h): color conversion streams the frame once through the
+// LUT unit; each cluster-update iteration streams tiles into the scratch
+// pads (load, process, store — single-buffered, which is why buffer size
+// matters), and the center update unit divides the sigma registers out
+// after every iteration.
+//
+// Power follows the paper's stated methodology (Section 6.3): compute units
+// are charged peak active power times their utilization; the scratch pads
+// and the external-memory interface are assumed at full utilization.
+#pragma once
+
+#include "hw/area_model.h"
+#include "hw/cluster_unit.h"
+#include "hw/dram_model.h"
+#include "hw/energy_model.h"
+
+namespace sslic::hw {
+
+/// One complete accelerator design point.
+struct AcceleratorDesign {
+  int width = 1920;
+  int height = 1080;
+  int num_superpixels = 5000;   ///< K
+  double subsample_ratio = 0.5; ///< S-SLIC pixel subsampling
+  int full_sweeps = 9;          ///< full-image-equivalent cluster iterations
+  ClusterUnitConfig cluster = ClusterUnitConfig::way_996();
+  double channel_buffer_bytes = 4096.0;  ///< per channel; 4 pads total
+  int num_cores = 1;            ///< parallel cluster pipelines
+  double clock_hz = 1.6e9;
+  /// Supply voltage. The 16 nm design point is 0.72 V (paper Section 5);
+  /// dynamic energy scales with (V/0.72)^2 and leakage ~linearly — the
+  /// "ultimately reducing the clock rate" DVFS scaling of Section 6.3.
+  double voltage_v = 0.72;
+
+  // Micro-architecture constants (calibrated; see EXPERIMENTS.md).
+  int divider_steps_per_division = 16;  ///< iterative divider latency
+  int divisions_per_center = 5;         ///< L, a, b, x, y
+  int sigma_transfer_cycles_per_tile = 52;  ///< spill/load sigma registers
+  int center_load_cycles_per_tile = 18;     ///< load 9 center registers
+  double conv_energy_per_pixel_pj = 2.0;    ///< LUT color conversion unit
+};
+
+/// Model output for one frame.
+struct FrameReport {
+  // --- Structure. ---
+  int grid_nx = 0;
+  int grid_ny = 0;
+  std::uint64_t num_centers = 0;
+  std::uint64_t subset_iterations = 0;
+
+  // --- Time (seconds). ---
+  double color_conversion_s = 0.0;   ///< streaming: max(compute, memory)
+  double cluster_compute_s = 0.0;    ///< pixel pipeline + tile overheads
+  double center_update_s = 0.0;      ///< divider time (all iterations)
+  double cluster_memory_s = 0.0;     ///< tile load/store DRAM time
+  double total_s = 0.0;
+  double fps = 0.0;
+
+  // --- DRAM traffic (bytes per frame, accelerator 8-bit convention). ---
+  double dram_bytes = 0.0;
+
+  // --- Energy (joules per frame). ---
+  double cluster_energy_j = 0.0;
+  double conv_energy_j = 0.0;
+  double center_energy_j = 0.0;
+  double sram_energy_j = 0.0;   ///< full-utilization assumption
+  double phy_energy_j = 0.0;    ///< full-utilization assumption
+  double clock_energy_j = 0.0;
+  double leakage_energy_j = 0.0;
+  double energy_per_frame_j = 0.0;
+  /// DRAM device energy (the paper's 2500x model) — reported separately,
+  /// not charged to accelerator power (it is off-chip).
+  double dram_device_energy_j = 0.0;
+
+  // --- Derived. ---
+  double average_power_w = 0.0;
+  double area_mm2 = 0.0;
+  double fps_per_mm2 = 0.0;
+  /// On-chip storage (4 scratch pads + LUTs + registers), bytes.
+  double onchip_storage_bytes = 0.0;
+  /// Fraction of total time spent on cluster-update memory access.
+  double memory_time_fraction = 0.0;
+
+  [[nodiscard]] bool real_time() const { return fps >= 30.0; }
+};
+
+/// Evaluates a design point analytically.
+class AcceleratorModel {
+ public:
+  explicit AcceleratorModel(AcceleratorDesign design,
+                            const EnergyModel& energy = default_energy_model(),
+                            const AreaModel& area = default_area_model(),
+                            const DramModel& dram = default_dram_model());
+
+  [[nodiscard]] FrameReport evaluate() const;
+
+  [[nodiscard]] const AcceleratorDesign& design() const { return design_; }
+
+  /// Total silicon area of the design, mm^2.
+  [[nodiscard]] double area_mm2() const;
+
+ private:
+  AcceleratorDesign design_;
+  EnergyModel energy_;
+  AreaModel area_model_;
+  DramModel dram_;
+};
+
+}  // namespace sslic::hw

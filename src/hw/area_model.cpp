@@ -1,0 +1,10 @@
+#include "hw/area_model.h"
+
+namespace sslic::hw {
+
+const AreaModel& default_area_model() {
+  static const AreaModel model{};
+  return model;
+}
+
+}  // namespace sslic::hw

@@ -1,0 +1,87 @@
+#include "hw/cluster_unit.h"
+
+#include <cstdint>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sslic::hw {
+namespace {
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+std::string ClusterUnitConfig::name() const {
+  std::ostringstream os;
+  os << distance_ways << '-' << min_ways << '-' << adder_ways;
+  return os.str();
+}
+
+ClusterUnit::ClusterUnit(ClusterUnitConfig config, const EnergyModel& energy,
+                         const AreaModel& area)
+    : config_(config) {
+  SSLIC_CHECK(config.distance_ways >= 1 && config.distance_ways <= 9);
+  SSLIC_CHECK(config.min_ways >= 1 && config.min_ways <= 9);
+  SSLIC_CHECK(config.adder_ways >= 1 && config.adder_ways <= 6);
+
+  const int dist_iters = ceil_div(9, config.distance_ways);
+  const int min_iters = ceil_div(9, config.min_ways);
+  const int add_iters = ceil_div(6, config.adder_ways);
+
+  // Latency: 3 fixed stages + per-function stage counts. A fully parallel
+  // distance/adder stage costs 1 cycle; the parallel 9:1 minimum is a
+  // 2-stage comparator tree. (Matches Table 3 for all five configs.)
+  const int dist_stages = dist_iters == 1 ? 1 : dist_iters;
+  const int min_stages = min_iters == 1 ? 2 : min_iters;
+  const int add_stages = add_iters == 1 ? 1 : add_iters;
+  latency_ = 3 + dist_stages + min_stages + add_stages;
+  ii_ = std::max(dist_iters, std::max(min_iters, add_iters));
+
+  // Area: additive component model (Table 3 decomposition).
+  area_mm2_ = area.cluster_control +
+              config.distance_ways * area.dist_calculator_per_way +
+              (config.min_ways == 9 ? area.min_unit_tree9
+                                    : config.min_ways * area.min_unit_iterative) +
+              config.adder_ways * area.adder_per_way;
+
+  // Per-pixel dynamic energy: the arithmetic work is configuration-
+  // independent (always 9 distances, 8 compares, 6 adds); configurations
+  // differ in staging-register energy (parallel ways), sequencing energy
+  // (iteration cycles of each time-multiplexed function), and a
+  // producer/consumer buffering term when parallel distance calculators
+  // feed an iterative minimum. Constants calibrated against Table 3 —
+  // every published cell reproduces within 5% (see EXPERIMENTS.md).
+  const int extra_ways = (config.distance_ways - 1) +
+                         (config.min_ways == 9 ? 1 : config.min_ways - 1) +
+                         (config.adder_ways - 1);
+  const int seq_cycles = (dist_iters - 1) + (min_iters - 1) + (add_iters - 1);
+  const bool rate_mismatch = dist_iters == 1 && min_iters > 1;
+  const double min_cmp = config.min_ways == 9 ? energy.min_compare_tree_pj
+                                              : energy.min_compare_iterative_pj;
+  energy_px_pj_ = 9.0 * energy.distance_eval_pj + 8.0 * min_cmp +
+                  6.0 * energy.sigma_add_pj + energy.pixel_slot_base_pj +
+                  extra_ways * energy.parallel_stage_pj +
+                  seq_cycles * energy.iterative_seq_pj +
+                  (rate_mismatch ? energy.rate_mismatch_buffer_pj : 0.0);
+}
+
+double ClusterUnit::active_power_w(double clock_hz) const {
+  // Streaming back-to-back: one pixel every II cycles.
+  const double pixel_rate = clock_hz / ii_;
+  return energy_px_pj_ * 1e-12 * pixel_rate;
+}
+
+double ClusterUnit::iteration_compute_seconds(std::uint64_t pixels,
+                                              std::uint64_t tiles,
+                                              double clock_hz) const {
+  const double cycles = static_cast<double>(pixels) * ii_ +
+                        static_cast<double>(tiles) * latency_;
+  return cycles / clock_hz;
+}
+
+double ClusterUnit::iteration_energy_j(std::uint64_t pixels) const {
+  return energy_px_pj_ * 1e-12 * static_cast<double>(pixels);
+}
+
+}  // namespace sslic::hw

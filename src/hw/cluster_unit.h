@@ -1,0 +1,89 @@
+// Cluster Update Unit model (paper Section 6.2, Table 3).
+//
+// The unit performs three functions per pixel: 9 color-space distance
+// calculations, a 9:1 minimum search, and a 6-field sigma accumulation.
+// Each function is either iterative (time-multiplexed on narrow hardware)
+// or parallel (fully pipelined). Configurations are named d-m-a by the
+// number of parallel ways per function: the paper evaluates 1-1-1, 9-1-1,
+// 1-9-1, 1-1-6, and 9-9-6.
+//
+// Latency and initiation-interval structure (validated against Table 3):
+//   latency = 3 (fetch/writeback/control stages)
+//           + 9/d_ways rounded up (1 stage when fully parallel)
+//           + 9/m_ways rounded up (2 tree stages when fully parallel)
+//           + 6/a_ways rounded up (1 stage when fully parallel)
+//   II (cycles per pixel) = max over functions of their iteration count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/area_model.h"
+#include "hw/energy_model.h"
+
+namespace sslic::hw {
+
+/// One d-m-a parallelism configuration of the Cluster Update Unit.
+struct ClusterUnitConfig {
+  int distance_ways = 9;  ///< parallel distance calculators (1..9)
+  int min_ways = 9;       ///< 9 = comparator tree, else iterative lanes
+  int adder_ways = 6;     ///< parallel sigma-accumulation adders (1..6)
+
+  [[nodiscard]] std::string name() const;  // e.g. "9-9-6"
+
+  /// The five configurations of Table 3.
+  static ClusterUnitConfig way_111() { return {1, 1, 1}; }
+  static ClusterUnitConfig way_911() { return {9, 1, 1}; }
+  static ClusterUnitConfig way_191() { return {1, 9, 1}; }
+  static ClusterUnitConfig way_116() { return {1, 1, 6}; }
+  static ClusterUnitConfig way_996() { return {9, 9, 6}; }
+};
+
+/// Derived hardware characteristics of a configuration.
+class ClusterUnit {
+ public:
+  ClusterUnit(ClusterUnitConfig config,
+              const EnergyModel& energy = default_energy_model(),
+              const AreaModel& area = default_area_model());
+
+  [[nodiscard]] const ClusterUnitConfig& config() const { return config_; }
+
+  /// Pipeline latency in cycles for one pixel.
+  [[nodiscard]] int latency_cycles() const { return latency_; }
+
+  /// Initiation interval: cycles between successive pixels.
+  [[nodiscard]] int initiation_interval() const { return ii_; }
+
+  /// Throughput in pixels per cycle (1 / II).
+  [[nodiscard]] double throughput_pixels_per_cycle() const {
+    return 1.0 / ii_;
+  }
+
+  /// Silicon area of the unit, mm^2.
+  [[nodiscard]] double area_mm2() const { return area_mm2_; }
+
+  /// Dynamic energy to process one pixel slot (9 distances, min, sigma,
+  /// registers, control), pJ.
+  [[nodiscard]] double energy_per_pixel_pj() const { return energy_px_pj_; }
+
+  /// Active power when streaming pixels back-to-back at `clock_hz`, watts.
+  [[nodiscard]] double active_power_w(double clock_hz) const;
+
+  /// Compute time for one full-image iteration of `pixels` pixels split
+  /// into `tiles` tiles (per-tile pipeline refill included), seconds.
+  [[nodiscard]] double iteration_compute_seconds(std::uint64_t pixels,
+                                                 std::uint64_t tiles,
+                                                 double clock_hz) const;
+
+  /// Dynamic energy for one full-image iteration, joules.
+  [[nodiscard]] double iteration_energy_j(std::uint64_t pixels) const;
+
+ private:
+  ClusterUnitConfig config_;
+  int latency_ = 0;
+  int ii_ = 0;
+  double area_mm2_ = 0.0;
+  double energy_px_pj_ = 0.0;
+};
+
+}  // namespace sslic::hw

@@ -1,0 +1,135 @@
+#include "hw/cycle_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "hw/cluster_unit.h"
+#include "slic/grid.h"
+
+namespace sslic::hw {
+
+CycleSimulator::CycleSimulator(AcceleratorDesign design, const DramModel& dram)
+    : design_(design), dram_(dram) {
+  SSLIC_CHECK(design_.width >= 16 && design_.height >= 16);
+  SSLIC_CHECK(design_.subsample_ratio > 0.0 && design_.subsample_ratio <= 1.0);
+  SSLIC_CHECK(design_.channel_buffer_bytes >= 256.0);
+}
+
+CycleReport CycleSimulator::run() const {
+  const ClusterUnit cluster(design_.cluster);
+  const CenterGrid grid(design_.width, design_.height, design_.num_superpixels);
+  CycleReport report;
+
+  const auto n = static_cast<std::uint64_t>(design_.width) *
+                 static_cast<std::uint64_t>(design_.height);
+  const double bw = dram_.bytes_per_cycle;
+  const auto latency = static_cast<std::uint64_t>(dram_.latency_cycles);
+
+  // --- Color conversion: a streaming pipeline. DRAM in (RGB) and out (Lab
+  // planes) run concurrently with the 1-pixel/cycle converter; the phase
+  // ends when the slower of the two finishes. ---
+  {
+    const std::uint64_t conv_bytes = 6 * n;
+    const auto dram_cycles =
+        latency + static_cast<std::uint64_t>(static_cast<double>(conv_bytes) / bw);
+    const std::uint64_t compute_cycles = n + 16;
+    report.conv_cycles = std::max(compute_cycles, dram_cycles);
+    report.dram_bytes += conv_bytes;
+    report.dram_requests += 1;
+  }
+
+  // --- Cluster update iterations. ---
+  const double subset_count = std::round(1.0 / design_.subsample_ratio);
+  const auto iterations =
+      static_cast<std::uint64_t>(design_.full_sweeps * subset_count);
+  report.iterations = iterations;
+
+  // Per-tile geometry (exact, from the grid).
+  struct TileShape {
+    std::uint64_t pixels = 0;
+    std::uint64_t active = 0;  // pixels in the current subset
+  };
+  std::vector<TileShape> tiles;
+  tiles.reserve(static_cast<std::size_t>(grid.num_centers()));
+  for (int gy = 0; gy < grid.ny(); ++gy) {
+    const int y0 = gy * design_.height / grid.ny();
+    const int y1 = (gy + 1) * design_.height / grid.ny();
+    for (int gx = 0; gx < grid.nx(); ++gx) {
+      const int x0 = gx * design_.width / grid.nx();
+      const int x1 = (gx + 1) * design_.width / grid.nx();
+      TileShape shape;
+      shape.pixels = static_cast<std::uint64_t>(x1 - x0) *
+                     static_cast<std::uint64_t>(y1 - y0);
+      shape.active = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(shape.pixels) * design_.subsample_ratio));
+      tiles.push_back(shape);
+    }
+  }
+
+  const auto per_tile_overhead = static_cast<std::uint64_t>(
+      cluster.latency_cycles() + design_.sigma_transfer_cycles_per_tile +
+      design_.center_load_cycles_per_tile);
+
+  for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+    // Tiles stream through the single-buffered scratch pads in groups: the
+    // per-channel buffer holds `group` tiles' channel data; each group is
+    // loaded, processed, and stored back serially (the rate-matching role
+    // of the buffers, Section 6.3).
+    std::size_t t = 0;
+    while (t < tiles.size()) {
+      std::uint64_t group_channel_bytes = 0;
+      std::uint64_t in_bytes = 0;
+      std::uint64_t out_bytes = 0;
+      std::uint64_t process_cycles = 0;
+      std::size_t group_tiles = 0;
+      while (t < tiles.size()) {
+        const TileShape& shape = tiles[t];
+        if (group_tiles > 0 &&
+            static_cast<double>(group_channel_bytes + shape.pixels) >
+                design_.channel_buffer_bytes) {
+          break;  // buffer full — this group is complete
+        }
+        group_channel_bytes += shape.pixels;
+        // Subset-aware channel fetch (3 B per active pixel) plus the full
+        // index map in; index map out after processing.
+        in_bytes += 3 * shape.active + shape.pixels + 16;
+        out_bytes += shape.pixels;
+        process_cycles += shape.active * static_cast<std::uint64_t>(
+                                              cluster.initiation_interval()) +
+                          per_tile_overhead;
+        ++group_tiles;
+        ++t;
+      }
+      const std::uint64_t fill_cycles =
+          latency + static_cast<std::uint64_t>(static_cast<double>(in_bytes) / bw);
+      const std::uint64_t store_cycles =
+          latency + static_cast<std::uint64_t>(static_cast<double>(out_bytes) / bw);
+      process_cycles /= static_cast<std::uint64_t>(design_.num_cores);
+
+      report.dram_stall_cycles += fill_cycles + store_cycles;
+      report.cluster_pixel_cycles +=
+          process_cycles -
+          group_tiles * per_tile_overhead / static_cast<std::uint64_t>(design_.num_cores);
+      report.tile_overhead_cycles +=
+          group_tiles * per_tile_overhead / static_cast<std::uint64_t>(design_.num_cores);
+      report.dram_bytes += in_bytes + out_bytes;
+      report.dram_requests += 2;
+      report.tiles_processed += group_tiles;
+    }
+
+    // Center update unit: sequential divider over all centers.
+    report.center_update_cycles += static_cast<std::uint64_t>(grid.num_centers()) *
+                                   static_cast<std::uint64_t>(design_.divisions_per_center) *
+                                   static_cast<std::uint64_t>(design_.divider_steps_per_division);
+    // New centers written back.
+    report.dram_bytes += static_cast<std::uint64_t>(grid.num_centers()) * 8;
+  }
+
+  report.total_cycles = report.conv_cycles + report.cluster_pixel_cycles +
+                        report.tile_overhead_cycles +
+                        report.center_update_cycles + report.dram_stall_cycles;
+  return report;
+}
+
+}  // namespace sslic::hw

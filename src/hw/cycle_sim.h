@@ -1,0 +1,66 @@
+// Cycle-stepped simulator of the S-SLIC accelerator (paper Fig. 4,
+// Section 4.3).
+//
+// The analytical model (accelerator_model.h) costs the FSM schedule in
+// closed form; this simulator *executes* it cycle by cycle — an FSM walking
+// the Section-4.3 states, a DRAM channel with request latency and peak
+// bandwidth, single-ported scratch pads, the pipelined cluster update unit,
+// and the iterative center-update divider — and reports where every cycle
+// went. The two are independent implementations of the same
+// micro-architecture; bench/cycle_sim_validation checks they agree, which
+// is the repository's substitute for the paper's RTL-simulation
+// cross-check (VCS on the Catapult-generated netlist).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/accelerator_model.h"
+
+namespace sslic::hw {
+
+/// Where the simulated cycles went, per top-level FSM activity.
+struct CycleReport {
+  std::uint64_t total_cycles = 0;
+
+  std::uint64_t conv_cycles = 0;          ///< color conversion (incl. its DRAM)
+  std::uint64_t cluster_pixel_cycles = 0; ///< pixels issuing down the pipeline
+  std::uint64_t tile_overhead_cycles = 0; ///< refill + register/sigma transfer
+  std::uint64_t center_update_cycles = 0; ///< divider busy
+  std::uint64_t dram_stall_cycles = 0;    ///< FSM blocked on tile DRAM traffic
+
+  std::uint64_t dram_bytes = 0;           ///< total DRAM traffic
+  std::uint64_t dram_requests = 0;        ///< buffer-fill requests issued
+  std::uint64_t tiles_processed = 0;
+  std::uint64_t iterations = 0;
+
+  /// Seconds at the design clock.
+  [[nodiscard]] double seconds(double clock_hz) const {
+    return static_cast<double>(total_cycles) / clock_hz;
+  }
+};
+
+/// Cycle-stepped execution of one frame's schedule for a design point.
+///
+/// The simulator is workload-shape-exact (tile geometry from the real
+/// CenterGrid, subset sizes from the subsampling ratio) but data-oblivious:
+/// it does not need pixel values, because the schedule of the accelerator
+/// is data-independent (fixed iteration count, fixed tile order — the FSM
+/// of Section 4.3 has no data-dependent branches).
+class CycleSimulator {
+ public:
+  explicit CycleSimulator(AcceleratorDesign design,
+                          const DramModel& dram = default_dram_model());
+
+  /// Runs the frame schedule and returns the cycle breakdown.
+  [[nodiscard]] CycleReport run() const;
+
+  [[nodiscard]] const AcceleratorDesign& design() const { return design_; }
+
+ private:
+  AcceleratorDesign design_;
+  DramModel dram_;
+};
+
+}  // namespace sslic::hw

@@ -1,0 +1,10 @@
+#include "hw/dram_model.h"
+
+namespace sslic::hw {
+
+const DramModel& default_dram_model() {
+  static const DramModel model{};
+  return model;
+}
+
+}  // namespace sslic::hw

@@ -1,0 +1,90 @@
+#include "hw/dse.h"
+
+namespace sslic::hw {
+
+DsePoint DesignSpaceExplorer::evaluate(const AcceleratorDesign& design) {
+  return {design, AcceleratorModel(design).evaluate()};
+}
+
+std::vector<DsePoint> DesignSpaceExplorer::sweep_cluster_configs(
+    const std::vector<ClusterUnitConfig>& configs) const {
+  std::vector<DsePoint> points;
+  points.reserve(configs.size());
+  for (const auto& config : configs) {
+    AcceleratorDesign d = base_;
+    d.cluster = config;
+    points.push_back(evaluate(d));
+  }
+  return points;
+}
+
+std::vector<DsePoint> DesignSpaceExplorer::sweep_buffer_sizes(
+    const std::vector<double>& buffer_bytes) const {
+  std::vector<DsePoint> points;
+  points.reserve(buffer_bytes.size());
+  for (const double bytes : buffer_bytes) {
+    AcceleratorDesign d = base_;
+    d.channel_buffer_bytes = bytes;
+    points.push_back(evaluate(d));
+  }
+  return points;
+}
+
+std::vector<DsePoint> DesignSpaceExplorer::sweep_resolutions(
+    const std::vector<Resolution>& resolutions) const {
+  std::vector<DsePoint> points;
+  points.reserve(resolutions.size());
+  for (const auto& res : resolutions) {
+    AcceleratorDesign d = base_;
+    d.width = res.width;
+    d.height = res.height;
+    d.channel_buffer_bytes = res.channel_buffer_bytes;
+    points.push_back(evaluate(d));
+  }
+  return points;
+}
+
+std::vector<DsePoint> DesignSpaceExplorer::sweep_cores(
+    const std::vector<int>& core_counts) const {
+  std::vector<DsePoint> points;
+  points.reserve(core_counts.size());
+  for (const int cores : core_counts) {
+    AcceleratorDesign d = base_;
+    d.num_cores = cores;
+    points.push_back(evaluate(d));
+  }
+  return points;
+}
+
+std::vector<DsePoint> DesignSpaceExplorer::full_grid(
+    const std::vector<ClusterUnitConfig>& configs,
+    const std::vector<double>& buffer_bytes) const {
+  std::vector<DsePoint> points;
+  points.reserve(configs.size() * buffer_bytes.size());
+  for (const auto& config : configs) {
+    for (const double bytes : buffer_bytes) {
+      AcceleratorDesign d = base_;
+      d.cluster = config;
+      d.channel_buffer_bytes = bytes;
+      points.push_back(evaluate(d));
+    }
+  }
+  return points;
+}
+
+const DsePoint* DesignSpaceExplorer::best_real_time(
+    const std::vector<DsePoint>& points) {
+  const DsePoint* best = nullptr;
+  for (const auto& p : points) {
+    if (!p.report.real_time()) continue;
+    if (best == nullptr ||
+        p.report.energy_per_frame_j < best->report.energy_per_frame_j ||
+        (p.report.energy_per_frame_j == best->report.energy_per_frame_j &&
+         p.report.area_mm2 < best->report.area_mm2)) {
+      best = &p;
+    }
+  }
+  return best;
+}
+
+}  // namespace sslic::hw

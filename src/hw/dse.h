@@ -1,0 +1,63 @@
+// Design-space exploration driver (paper Section 6): sweeps the cluster-
+// unit parallelism, scratch-pad buffer sizes, core count, and resolution,
+// and selects configurations under the real-time (30 fps) constraint.
+#pragma once
+
+#include <vector>
+
+#include "hw/accelerator_model.h"
+
+namespace sslic::hw {
+
+/// One explored design point with its evaluation.
+struct DsePoint {
+  AcceleratorDesign design;
+  FrameReport report;
+};
+
+/// Sweeps derived from a base design (only the swept field changes).
+class DesignSpaceExplorer {
+ public:
+  explicit DesignSpaceExplorer(AcceleratorDesign base) : base_(base) {}
+
+  [[nodiscard]] const AcceleratorDesign& base() const { return base_; }
+
+  /// Evaluates one design.
+  [[nodiscard]] static DsePoint evaluate(const AcceleratorDesign& design);
+
+  /// Table-3 style sweep over cluster-unit configurations.
+  [[nodiscard]] std::vector<DsePoint> sweep_cluster_configs(
+      const std::vector<ClusterUnitConfig>& configs) const;
+
+  /// Fig.-6 style sweep over per-channel buffer sizes (bytes).
+  [[nodiscard]] std::vector<DsePoint> sweep_buffer_sizes(
+      const std::vector<double>& buffer_bytes) const;
+
+  /// Table-4 style sweep over frame resolutions (width, height, buffer).
+  struct Resolution {
+    int width;
+    int height;
+    double channel_buffer_bytes;
+  };
+  [[nodiscard]] std::vector<DsePoint> sweep_resolutions(
+      const std::vector<Resolution>& resolutions) const;
+
+  /// Extension: multi-core scaling sweep.
+  [[nodiscard]] std::vector<DsePoint> sweep_cores(
+      const std::vector<int>& core_counts) const;
+
+  /// Full cartesian product of cluster configs and buffer sizes.
+  [[nodiscard]] std::vector<DsePoint> full_grid(
+      const std::vector<ClusterUnitConfig>& configs,
+      const std::vector<double>& buffer_bytes) const;
+
+  /// The real-time point with the lowest energy per frame, breaking ties by
+  /// area; nullptr when none meets 30 fps.
+  [[nodiscard]] static const DsePoint* best_real_time(
+      const std::vector<DsePoint>& points);
+
+ private:
+  AcceleratorDesign base_;
+};
+
+}  // namespace sslic::hw

@@ -1,0 +1,20 @@
+#include "hw/energy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sslic::hw {
+
+double EnergyModel::sram_access_pj_per_byte(double kbytes) const {
+  // ~0.25 pJ/B for a 1 kB pad, growing ~15% per doubling of capacity
+  // (bitline/wordline capacitance); floor at 1 kB.
+  const double k = std::max(1.0, kbytes);
+  return 0.25 + 0.05 * std::log2(k);
+}
+
+const EnergyModel& default_energy_model() {
+  static const EnergyModel model{};
+  return model;
+}
+
+}  // namespace sslic::hw

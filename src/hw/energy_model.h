@@ -1,0 +1,77 @@
+// Per-event energy constants for the 16 nm FinFET / 0.72 V / 1.6 GHz design
+// point (paper Section 5), with provenance.
+//
+// The paper evaluates energy with Synopsys PrimeTime-PX on a gate-level
+// netlist; that flow is not reproducible offline, so this model composes
+// per-event energies instead — exactly the style of argument the paper
+// itself uses in Section 4.2 ("the energy of an 8b DRAM reference is 2500x
+// larger than the energy of an 8b add", citing Horowitz ISSCC'14).
+//
+// Base constants derive from Horowitz's published 45 nm / 0.9 V numbers
+// (8-bit add 0.03 pJ, 8-bit multiply 0.2 pJ, SRAM and DRAM access ranges),
+// scaled to 16 nm / 0.72 V by a capacitance factor of ~0.36 and a voltage
+// factor of (0.72/0.9)^2 = 0.64, i.e. ~0.23x overall. Composite per-event
+// energies (a full 5-D distance evaluation, per-pixel register/control
+// overhead) are calibrated so the model reproduces the paper's Table 3
+// within ~5%; EXPERIMENTS.md records the calibration residuals.
+#pragma once
+
+namespace sslic::hw {
+
+/// Energy constants in picojoules (pJ) unless noted. 16 nm, 0.72 V.
+struct EnergyModel {
+  // --- Primitive operations (Horowitz ISSCC'14, scaled to 16 nm). ---
+  double add8_pj = 0.007;   ///< 8-bit integer add
+  double mul8_pj = 0.045;   ///< 8-bit integer multiply
+
+  // --- Composite datapath events (calibrated against Table 3). ---
+  /// One 5-D color-space distance evaluation (Eq. 5): 5 subtract-square-
+  /// accumulate steps, spatial scaling, final add, local wiring.
+  double distance_eval_pj = 1.40;
+  /// One comparison step of an iterative 9:1 minimum (includes the loop
+  /// register update).
+  double min_compare_iterative_pj = 0.11;
+  /// One comparison node of a parallel 9:1 minimum tree. The published
+  /// Table-3 cells are consistent with tree and iterative compares costing
+  /// the same energy (the tree saves *sequencing*, not compare, energy).
+  double min_compare_tree_pj = 0.11;
+  /// One sigma-register accumulation add (wide accumulator).
+  double sigma_add_pj = 0.115;
+  /// Per-pixel-slot overhead: pixel-register load, scratch-pad channel
+  /// reads, index write, FSM control.
+  double pixel_slot_base_pj = 2.49;
+  /// Extra pipeline-staging energy per additional parallel way.
+  double parallel_stage_pj = 0.20;
+  /// Sequencing energy per extra iteration cycle of each time-multiplexed
+  /// function, per pixel (loop counters, operand muxing).
+  double iterative_seq_pj = 0.10;
+  /// Result-buffering energy when 9 parallel distance results must be held
+  /// for an iterative minimum unit to consume over 9 cycles (the 9-1-1
+  /// producer/consumer rate mismatch).
+  double rate_mismatch_buffer_pj = 1.0;
+  /// One iteration step of the center-update divider.
+  double divider_step_pj = 0.10;
+
+  // --- Memories and interfaces. ---
+  /// DRAM *device+channel* energy per byte: the paper's own 2500x-an-8b-add
+  /// model (Section 4.2). Used for the CPA-vs-PPA architectural energy
+  /// argument; not part of accelerator chip power.
+  double dram_device_pj_per_byte = 2500.0 * 0.007;
+  /// DRAM interface (PHY + IO) energy per byte, charged to the accelerator.
+  double dram_phy_pj_per_byte = 2.5;
+  /// Scratch-pad SRAM access energy per byte for a pad of `kbytes`
+  /// capacity (grows slowly with capacity: longer bitlines).
+  [[nodiscard]] double sram_access_pj_per_byte(double kbytes) const;
+
+  // --- Static / clock. ---
+  /// Leakage per mm^2 of logic+SRAM at 16 nm, 0.72 V, in mW.
+  double leakage_mw_per_mm2 = 20.0;
+  /// Clock-tree and idle-pipeline power as a fraction of peak dynamic
+  /// power of the clocked unit.
+  double clock_overhead_fraction = 0.10;
+};
+
+/// The model used throughout the repository (default-constructed constants).
+const EnergyModel& default_energy_model();
+
+}  // namespace sslic::hw

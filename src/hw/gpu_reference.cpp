@@ -1,0 +1,39 @@
+#include "hw/gpu_reference.h"
+
+namespace sslic::hw {
+
+GpuReference tesla_k20() {
+  GpuReference gpu;
+  gpu.name = "Tesla K20";
+  gpu.algorithm = "SLIC";
+  gpu.technology_nm = 28;
+  gpu.voltage_v = 0.81;
+  gpu.onchip_memory_kb = 6320.0;
+  gpu.core_count = 2496;
+  gpu.average_power_w = 86.0;
+  gpu.latency_ms = 22.3;
+  return gpu;
+}
+
+GpuReference tegra_k1() {
+  GpuReference gpu;
+  gpu.name = "Tegra K1";
+  gpu.algorithm = "SLIC";
+  gpu.technology_nm = 28;
+  gpu.voltage_v = 0.81;
+  gpu.onchip_memory_kb = 368.0;
+  gpu.core_count = 192;
+  gpu.average_power_w = 0.332;
+  gpu.latency_ms = 2713.0;
+  return gpu;
+}
+
+double normalized_power_w(const GpuReference& gpu) {
+  return gpu.average_power_w / kProcessNormalization;
+}
+
+double normalized_energy_per_frame_j(const GpuReference& gpu) {
+  return normalized_power_w(gpu) * gpu.latency_ms * 1e-3;
+}
+
+}  // namespace sslic::hw

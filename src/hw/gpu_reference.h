@@ -1,0 +1,46 @@
+// Published GPU baseline measurements (paper Table 5) and the process-
+// normalization arithmetic of Section 7.
+//
+// These are the only numbers in the repository taken directly from the
+// paper rather than produced by our own code: we cannot execute CUDA on
+// Tesla K20 / Tegra K1 silicon in this environment (see DESIGN.md §1).
+// Every *derived* Table-5 cell (normalized power, energy per frame,
+// efficiency ratios) is recomputed from these raw cells.
+#pragma once
+
+#include <string>
+
+namespace sslic::hw {
+
+/// Raw measured cells for one GPU platform (paper Table 5).
+struct GpuReference {
+  std::string name;
+  std::string algorithm;
+  int technology_nm = 28;
+  double voltage_v = 0.81;
+  double onchip_memory_kb = 0.0;
+  int core_count = 0;
+  double average_power_w = 0.0;  ///< measured at 28 nm
+  double latency_ms = 0.0;       ///< 1920x1080, K = 5000
+};
+
+/// Tesla K20 (server-class GPU) running SLIC.
+GpuReference tesla_k20();
+
+/// Tegra K1 (mobile SoC GPU) running SLIC.
+GpuReference tegra_k1();
+
+/// Process normalization 28 nm -> 16 nm (paper Section 7): multiplicative
+/// factors of 1.25 for voltage^2 and 1.75 for capacitance, 2.1875 total;
+/// the paper rounds the product to 2.2.
+inline constexpr double kVoltageFactor = 1.25;
+inline constexpr double kCapacitanceFactor = 1.75;
+inline constexpr double kProcessNormalization = kVoltageFactor * kCapacitanceFactor;
+
+/// Power the GPU would draw in a 16 nm process (divide by the factor).
+double normalized_power_w(const GpuReference& gpu);
+
+/// Energy per frame at the normalized power, joules.
+double normalized_energy_per_frame_j(const GpuReference& gpu);
+
+}  // namespace sslic::hw

@@ -1,0 +1,66 @@
+#include "image/draw.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sslic {
+
+Image<std::uint8_t> boundary_mask(const LabelImage& labels) {
+  const int w = labels.width();
+  const int h = labels.height();
+  Image<std::uint8_t> mask(w, h, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::int32_t here = labels(x, y);
+      if ((x + 1 < w && labels(x + 1, y) != here) ||
+          (y + 1 < h && labels(x, y + 1) != here)) {
+        mask(x, y) = 1;
+      }
+    }
+  }
+  return mask;
+}
+
+RgbImage overlay_boundaries(const RgbImage& image, const LabelImage& labels,
+                            Rgb8 color) {
+  SSLIC_CHECK(image.width() == labels.width() && image.height() == labels.height());
+  RgbImage out = image;
+  const Image<std::uint8_t> mask = boundary_mask(labels);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (mask.pixels()[i] != 0) out.pixels()[i] = color;
+  }
+  return out;
+}
+
+RgbImage mean_color_abstraction(const RgbImage& image, const LabelImage& labels) {
+  SSLIC_CHECK(image.width() == labels.width() && image.height() == labels.height());
+  std::int32_t max_label = 0;
+  for (const auto label : labels.pixels()) {
+    SSLIC_CHECK(label >= 0);
+    max_label = std::max(max_label, label);
+  }
+  struct Acc {
+    std::uint64_t r = 0, g = 0, b = 0, n = 0;
+  };
+  std::vector<Acc> acc(static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    Acc& a = acc[static_cast<std::size_t>(labels.pixels()[i])];
+    a.r += image.pixels()[i].r;
+    a.g += image.pixels()[i].g;
+    a.b += image.pixels()[i].b;
+    a.n += 1;
+  }
+  RgbImage out(image.width(), image.height());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    const Acc& a = acc[static_cast<std::size_t>(labels.pixels()[i])];
+    const auto mean = [&](std::uint64_t sum) {
+      return static_cast<std::uint8_t>(a.n == 0 ? 0 : (sum + a.n / 2) / a.n);
+    };
+    out.pixels()[i] = {mean(a.r), mean(a.g), mean(a.b)};
+  }
+  return out;
+}
+
+}  // namespace sslic

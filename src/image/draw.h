@@ -1,0 +1,23 @@
+// Visualization helpers used by the examples: boundary overlays and
+// mean-color abstraction of a segmentation.
+#pragma once
+
+#include "image/image.h"
+
+namespace sslic {
+
+/// Returns a copy of `image` with superpixel boundary pixels painted
+/// `color`. A pixel is a boundary pixel when its label differs from its
+/// right or bottom neighbour.
+RgbImage overlay_boundaries(const RgbImage& image, const LabelImage& labels,
+                            Rgb8 color = {255, 40, 40});
+
+/// Returns the "abstracted" image: every pixel replaced by the mean RGB of
+/// its superpixel (a classic downstream use of superpixels).
+RgbImage mean_color_abstraction(const RgbImage& image, const LabelImage& labels);
+
+/// Boolean boundary mask: true where the label differs from the right or
+/// bottom neighbour.
+Image<std::uint8_t> boundary_mask(const LabelImage& labels);
+
+}  // namespace sslic

@@ -1,0 +1,70 @@
+#include "image/gradient.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sslic {
+
+Image<float> lab_gradient_magnitude(const LabImage& lab) {
+  const int w = lab.width();
+  const int h = lab.height();
+  Image<float> grad(w, h);
+  const auto view = lab.view();
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const LabF& xp = view.at_clamped(x + 1, y);
+      const LabF& xm = view.at_clamped(x - 1, y);
+      const LabF& yp = view.at_clamped(x, y + 1);
+      const LabF& ym = view.at_clamped(x, y - 1);
+      const float dx_l = xp.L - xm.L, dx_a = xp.a - xm.a, dx_b = xp.b - xm.b;
+      const float dy_l = yp.L - ym.L, dy_a = yp.a - ym.a, dy_b = yp.b - ym.b;
+      grad(x, y) = dx_l * dx_l + dx_a * dx_a + dx_b * dx_b + dy_l * dy_l +
+                   dy_a * dy_a + dy_b * dy_b;
+    }
+  }
+  return grad;
+}
+
+Image<float> sobel_magnitude(const Image<std::uint8_t>& grey) {
+  const int w = grey.width();
+  const int h = grey.height();
+  Image<float> grad(w, h);
+  const auto view = grey.view();
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const auto px = [&](int dx, int dy) {
+        return static_cast<float>(view.at_clamped(x + dx, y + dy));
+      };
+      const float gx = (px(1, -1) + 2.0f * px(1, 0) + px(1, 1)) -
+                       (px(-1, -1) + 2.0f * px(-1, 0) + px(-1, 1));
+      const float gy = (px(-1, 1) + 2.0f * px(0, 1) + px(1, 1)) -
+                       (px(-1, -1) + 2.0f * px(0, -1) + px(1, -1));
+      grad(x, y) = std::sqrt(gx * gx + gy * gy);
+    }
+  }
+  return grad;
+}
+
+Point argmin_gradient_3x3(const Image<float>& gradient, int x, int y) {
+  const int w = gradient.width();
+  const int h = gradient.height();
+  // Clamp the centre so the full 3x3 window lies inside the image.
+  const int cx = std::clamp(x, 1, std::max(1, w - 2));
+  const int cy = std::clamp(y, 1, std::max(1, h - 2));
+  Point best{cx, cy};
+  float best_val = gradient(cx, cy);
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      const int nx = cx + dx;
+      const int ny = cy + dy;
+      if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+      if (gradient(nx, ny) < best_val) {
+        best_val = gradient(nx, ny);
+        best = {nx, ny};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sslic

@@ -1,0 +1,150 @@
+#include "image/io.h"
+
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace sslic {
+namespace {
+
+[[noreturn]] void io_fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error("ppm i/o error (" + path + "): " + why);
+}
+
+// Reads the next header token, skipping whitespace and '#' comments.
+std::string next_token(std::istream& in) {
+  std::string token;
+  int c = in.get();
+  for (;;) {
+    while (c != EOF && std::isspace(c)) c = in.get();
+    if (c == '#') {
+      while (c != EOF && c != '\n') c = in.get();
+      continue;
+    }
+    break;
+  }
+  while (c != EOF && !std::isspace(c)) {
+    token.push_back(static_cast<char>(c));
+    c = in.get();
+  }
+  return token;
+}
+
+int parse_nonnegative(std::istream& in, const std::string& path,
+                      const char* what) {
+  const std::string tok = next_token(in);
+  if (tok.empty()) io_fail(path, std::string("missing ") + what);
+  int value = 0;
+  for (const char ch : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(ch)))
+      io_fail(path, std::string("non-numeric ") + what + ": " + tok);
+    value = value * 10 + (ch - '0');
+    if (value > 1 << 20) io_fail(path, std::string("absurd ") + what);
+  }
+  return value;
+}
+
+int parse_positive(std::istream& in, const std::string& path, const char* what) {
+  const int value = parse_nonnegative(in, path, what);
+  if (value <= 0) io_fail(path, std::string("non-positive ") + what);
+  return value;
+}
+
+}  // namespace
+
+RgbImage read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail(path, "cannot open for reading");
+
+  const std::string magic = next_token(in);
+  if (magic != "P6" && magic != "P3") io_fail(path, "not a PPM (magic " + magic + ")");
+  const int width = parse_positive(in, path, "width");
+  const int height = parse_positive(in, path, "height");
+  const int maxval = parse_positive(in, path, "maxval");
+  if (maxval != 255) io_fail(path, "only maxval 255 supported");
+
+  RgbImage image(width, height);
+  if (magic == "P6") {
+    // next_token already consumed the single whitespace byte after maxval.
+    const std::size_t bytes = image.size() * 3;
+    std::vector<char> buf(bytes);
+    in.read(buf.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<std::size_t>(in.gcount()) != bytes)
+      io_fail(path, "truncated pixel data");
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      image.pixels()[i] = {static_cast<std::uint8_t>(buf[3 * i]),
+                           static_cast<std::uint8_t>(buf[3 * i + 1]),
+                           static_cast<std::uint8_t>(buf[3 * i + 2])};
+    }
+  } else {
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      const int r = parse_nonnegative(in, path, "red sample") & 0xff;
+      const int g = parse_nonnegative(in, path, "green sample") & 0xff;
+      const int b = parse_nonnegative(in, path, "blue sample") & 0xff;
+      image.pixels()[i] = {static_cast<std::uint8_t>(r),
+                           static_cast<std::uint8_t>(g),
+                           static_cast<std::uint8_t>(b)};
+    }
+  }
+  return image;
+}
+
+void write_ppm(const std::string& path, const RgbImage& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) io_fail(path, "cannot open for writing");
+  out << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+  std::vector<char> buf(image.size() * 3);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    const Rgb8 p = image.pixels()[i];
+    buf[3 * i] = static_cast<char>(p.r);
+    buf[3 * i + 1] = static_cast<char>(p.g);
+    buf[3 * i + 2] = static_cast<char>(p.b);
+  }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) io_fail(path, "write failed");
+}
+
+void write_pgm(const std::string& path, const Image<std::uint8_t>& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) io_fail(path, "cannot open for writing");
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out) io_fail(path, "write failed");
+}
+
+Image<std::uint8_t> read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail(path, "cannot open for reading");
+
+  const std::string magic = next_token(in);
+  if (magic != "P5" && magic != "P2") io_fail(path, "not a PGM (magic " + magic + ")");
+  const int width = parse_positive(in, path, "width");
+  const int height = parse_positive(in, path, "height");
+  const int maxval = parse_positive(in, path, "maxval");
+  if (maxval != 255) io_fail(path, "only maxval 255 supported");
+
+  Image<std::uint8_t> image(width, height);
+  if (magic == "P5") {
+    // next_token consumed the single whitespace byte after maxval.
+    in.read(reinterpret_cast<char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+    if (static_cast<std::size_t>(in.gcount()) != image.size())
+      io_fail(path, "truncated pixel data");
+  } else {
+    for (auto& px : image.pixels())
+      px = static_cast<std::uint8_t>(parse_nonnegative(in, path, "sample") & 0xff);
+  }
+  return image;
+}
+
+void write_label_pgm(const std::string& path, const LabelImage& labels) {
+  Image<std::uint8_t> grey(labels.width(), labels.height());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto folded = static_cast<std::uint32_t>(labels.pixels()[i]) * 2654435761u;
+    grey.pixels()[i] = static_cast<std::uint8_t>((folded >> 24) & 0xff);
+  }
+  write_pgm(path, grey);
+}
+
+}  // namespace sslic

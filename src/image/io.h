@@ -1,0 +1,32 @@
+// Portable pixmap (PPM/PGM) reading and writing.
+//
+// PPM P6 is the interchange format for example inputs/outputs so the library
+// has no external image dependencies; PGM is used to dump label maps and
+// gradient images for inspection.
+#pragma once
+
+#include <string>
+
+#include "image/image.h"
+
+namespace sslic {
+
+/// Reads a binary (P6) or ASCII (P3) PPM file. Throws std::runtime_error on
+/// malformed input or I/O failure.
+RgbImage read_ppm(const std::string& path);
+
+/// Writes a binary (P6) PPM file. Throws std::runtime_error on I/O failure.
+void write_ppm(const std::string& path, const RgbImage& image);
+
+/// Writes an 8-bit binary (P5) PGM file.
+void write_pgm(const std::string& path, const Image<std::uint8_t>& image);
+
+/// Reads a binary (P5) or ASCII (P2) 8-bit PGM file.
+Image<std::uint8_t> read_pgm(const std::string& path);
+
+/// Writes a label map as a PGM, mapping labels onto 0..255 (labels are
+/// multiplied by a large odd constant then folded, so adjacent superpixels
+/// get visually distinct grey levels).
+void write_label_pgm(const std::string& path, const LabelImage& labels);
+
+}  // namespace sslic

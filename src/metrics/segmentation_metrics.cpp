@@ -1,0 +1,320 @@
+#include "metrics/segmentation_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "image/draw.h"
+
+namespace sslic {
+namespace {
+
+int max_label(const LabelImage& labels) {
+  std::int32_t m = -1;
+  for (const auto v : labels.pixels()) {
+    SSLIC_CHECK_MSG(v >= 0, "negative label " << v);
+    m = std::max(m, v);
+  }
+  return m;
+}
+
+}  // namespace
+
+OverlapTable::OverlapTable(const LabelImage& superpixels,
+                           const LabelImage& ground_truth) {
+  SSLIC_CHECK(superpixels.width() == ground_truth.width() &&
+              superpixels.height() == ground_truth.height());
+  SSLIC_CHECK(!superpixels.empty());
+  num_pixels_ = superpixels.size();
+  num_sp_ = max_label(superpixels) + 1;
+  num_gt_ = max_label(ground_truth) + 1;
+
+  sp_size_.assign(static_cast<std::size_t>(num_sp_), 0);
+  gt_size_.assign(static_cast<std::size_t>(num_gt_), 0);
+
+  std::unordered_map<std::uint64_t, std::int64_t> counts;
+  counts.reserve(static_cast<std::size_t>(num_sp_) * 2);
+  for (std::size_t i = 0; i < num_pixels_; ++i) {
+    const std::int32_t sp = superpixels.pixels()[i];
+    const std::int32_t gt = ground_truth.pixels()[i];
+    sp_size_[static_cast<std::size_t>(sp)] += 1;
+    gt_size_[static_cast<std::size_t>(gt)] += 1;
+    const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sp))
+                               << 32) |
+                              static_cast<std::uint32_t>(gt);
+    counts[key] += 1;
+  }
+  overlaps_.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    overlaps_.push_back({static_cast<std::int32_t>(key >> 32),
+                         static_cast<std::int32_t>(key & 0xffffffffu), count});
+  }
+  // Deterministic order for reproducible reductions.
+  std::sort(overlaps_.begin(), overlaps_.end(), [](const Overlap& a, const Overlap& b) {
+    return a.sp != b.sp ? a.sp < b.sp : a.gt < b.gt;
+  });
+}
+
+double undersegmentation_error(const OverlapTable& table,
+                               double min_overlap_fraction) {
+  SSLIC_CHECK(min_overlap_fraction >= 0.0 && min_overlap_fraction <= 1.0);
+  const auto& sp_size = table.superpixel_sizes();
+  std::int64_t charged = 0;
+  for (const auto& o : table.overlaps()) {
+    const std::int64_t size = sp_size[static_cast<std::size_t>(o.sp)];
+    if (static_cast<double>(o.count) >=
+        min_overlap_fraction * static_cast<double>(size)) {
+      charged += size;
+    }
+  }
+  return static_cast<double>(charged) / static_cast<double>(table.num_pixels()) -
+         1.0;
+}
+
+double undersegmentation_error_min(const OverlapTable& table) {
+  const auto& sp_size = table.superpixel_sizes();
+  std::int64_t charged = 0;
+  for (const auto& o : table.overlaps()) {
+    const std::int64_t size = sp_size[static_cast<std::size_t>(o.sp)];
+    charged += std::min(o.count, size - o.count);
+  }
+  return static_cast<double>(charged) / static_cast<double>(table.num_pixels());
+}
+
+double achievable_segmentation_accuracy(const OverlapTable& table) {
+  std::vector<std::int64_t> best(static_cast<std::size_t>(table.num_superpixels()),
+                                 0);
+  for (const auto& o : table.overlaps()) {
+    auto& b = best[static_cast<std::size_t>(o.sp)];
+    b = std::max(b, o.count);
+  }
+  std::int64_t total = 0;
+  for (const auto b : best) total += b;
+  return static_cast<double>(total) / static_cast<double>(table.num_pixels());
+}
+
+namespace {
+
+/// Computes recall of `reference` boundary pixels by `candidate` boundary
+/// pixels within Chebyshev distance `tolerance`.
+double boundary_match_fraction(const LabelImage& reference,
+                               const LabelImage& candidate, int tolerance) {
+  SSLIC_CHECK(reference.width() == candidate.width() &&
+              reference.height() == candidate.height());
+  SSLIC_CHECK(tolerance >= 0);
+  const Image<std::uint8_t> ref_mask = boundary_mask(reference);
+  const Image<std::uint8_t> cand_mask = boundary_mask(candidate);
+  const int w = reference.width();
+  const int h = reference.height();
+
+  std::int64_t total = 0;
+  std::int64_t matched = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (ref_mask(x, y) == 0) continue;
+      ++total;
+      bool hit = false;
+      for (int dy = -tolerance; dy <= tolerance && !hit; ++dy) {
+        const int ny = y + dy;
+        if (ny < 0 || ny >= h) continue;
+        for (int dx = -tolerance; dx <= tolerance; ++dx) {
+          const int nx = x + dx;
+          if (nx < 0 || nx >= w) continue;
+          if (cand_mask(nx, ny) != 0) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) ++matched;
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(matched) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double boundary_recall(const LabelImage& superpixels,
+                       const LabelImage& ground_truth, int tolerance) {
+  return boundary_match_fraction(ground_truth, superpixels, tolerance);
+}
+
+double boundary_precision(const LabelImage& superpixels,
+                          const LabelImage& ground_truth, int tolerance) {
+  return boundary_match_fraction(superpixels, ground_truth, tolerance);
+}
+
+double compactness(const LabelImage& superpixels) {
+  const int n = max_label(superpixels) + 1;
+  std::vector<std::int64_t> area(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> perimeter(static_cast<std::size_t>(n), 0);
+  const int w = superpixels.width();
+  const int h = superpixels.height();
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::int32_t label = superpixels(x, y);
+      area[static_cast<std::size_t>(label)] += 1;
+      // 4-connected perimeter; image border counts as boundary.
+      const auto differs = [&](int nx, int ny) {
+        return nx < 0 || nx >= w || ny < 0 || ny >= h ||
+               superpixels(nx, ny) != label;
+      };
+      perimeter[static_cast<std::size_t>(label)] +=
+          static_cast<int>(differs(x - 1, y)) + static_cast<int>(differs(x + 1, y)) +
+          static_cast<int>(differs(x, y - 1)) + static_cast<int>(differs(x, y + 1));
+    }
+  }
+  constexpr double kPi = 3.14159265358979323846;
+  double sum = 0.0;
+  int counted = 0;
+  for (std::size_t i = 0; i < area.size(); ++i) {
+    if (area[i] == 0) continue;
+    const double q = 4.0 * kPi * static_cast<double>(area[i]) /
+                     (static_cast<double>(perimeter[i]) *
+                      static_cast<double>(perimeter[i]));
+    sum += std::min(1.0, q);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / counted;
+}
+
+double explained_variation(const LabelImage& superpixels, const LabImage& lab) {
+  SSLIC_CHECK(superpixels.width() == lab.width() &&
+              superpixels.height() == lab.height());
+  const int n_labels = max_label(superpixels) + 1;
+  struct Acc {
+    double L = 0, a = 0, b = 0;
+    std::int64_t n = 0;
+  };
+  std::vector<Acc> acc(static_cast<std::size_t>(n_labels));
+  Acc global;
+  for (std::size_t i = 0; i < lab.size(); ++i) {
+    const LabF& px = lab.pixels()[i];
+    Acc& s = acc[static_cast<std::size_t>(superpixels.pixels()[i])];
+    s.L += static_cast<double>(px.L);
+    s.a += static_cast<double>(px.a);
+    s.b += static_cast<double>(px.b);
+    s.n += 1;
+    global.L += static_cast<double>(px.L);
+    global.a += static_cast<double>(px.a);
+    global.b += static_cast<double>(px.b);
+    global.n += 1;
+  }
+  const double gl = global.L / static_cast<double>(global.n);
+  const double ga = global.a / static_cast<double>(global.n);
+  const double gb = global.b / static_cast<double>(global.n);
+
+  double between = 0.0;  // variance of the superpixel means
+  double total = 0.0;    // total variance
+  for (std::size_t i = 0; i < lab.size(); ++i) {
+    const LabF& px = lab.pixels()[i];
+    const Acc& s = acc[static_cast<std::size_t>(superpixels.pixels()[i])];
+    const double ml = s.L / static_cast<double>(s.n);
+    const double ma = s.a / static_cast<double>(s.n);
+    const double mb = s.b / static_cast<double>(s.n);
+    between += (ml - gl) * (ml - gl) + (ma - ga) * (ma - ga) + (mb - gb) * (mb - gb);
+    const double dl = static_cast<double>(px.L) - gl;
+    const double da = static_cast<double>(px.a) - ga;
+    const double db = static_cast<double>(px.b) - gb;
+    total += dl * dl + da * da + db * db;
+  }
+  return total <= 0.0 ? 1.0 : between / total;
+}
+
+double contour_density(const LabelImage& superpixels) {
+  SSLIC_CHECK(!superpixels.empty());
+  const Image<std::uint8_t> mask = boundary_mask(superpixels);
+  std::int64_t boundary = 0;
+  for (const auto v : mask.pixels()) boundary += v;
+  return static_cast<double>(boundary) / static_cast<double>(mask.size());
+}
+
+double variation_of_information(const LabelImage& a, const LabelImage& b) {
+  const OverlapTable table(a, b);
+  const auto n = static_cast<double>(table.num_pixels());
+  // VI = H(A) + H(B) - 2 I(A;B), computed from the joint distribution.
+  double h_a = 0.0;
+  for (const auto size : table.superpixel_sizes()) {
+    if (size == 0) continue;
+    const double p = static_cast<double>(size) / n;
+    h_a -= p * std::log(p);
+  }
+  double h_b = 0.0;
+  for (const auto size : table.region_sizes()) {
+    if (size == 0) continue;
+    const double p = static_cast<double>(size) / n;
+    h_b -= p * std::log(p);
+  }
+  double mutual = 0.0;
+  for (const auto& o : table.overlaps()) {
+    const double p_joint = static_cast<double>(o.count) / n;
+    const double p_a =
+        static_cast<double>(table.superpixel_sizes()[static_cast<std::size_t>(o.sp)]) / n;
+    const double p_b =
+        static_cast<double>(table.region_sizes()[static_cast<std::size_t>(o.gt)]) / n;
+    mutual += p_joint * std::log(p_joint / (p_a * p_b));
+  }
+  return std::max(0.0, h_a + h_b - 2.0 * mutual);
+}
+
+double undersegmentation_error(const LabelImage& superpixels,
+                               const LabelImage& ground_truth,
+                               double min_overlap_fraction) {
+  return undersegmentation_error(OverlapTable(superpixels, ground_truth),
+                                 min_overlap_fraction);
+}
+
+double undersegmentation_error_min(const LabelImage& superpixels,
+                                   const LabelImage& ground_truth) {
+  return undersegmentation_error_min(OverlapTable(superpixels, ground_truth));
+}
+
+double achievable_segmentation_accuracy(const LabelImage& superpixels,
+                                        const LabelImage& ground_truth) {
+  return achievable_segmentation_accuracy(OverlapTable(superpixels, ground_truth));
+}
+
+MultiGroundTruthQuality evaluate_against_annotators(
+    const LabelImage& superpixels, const std::vector<LabelImage>& truths,
+    int boundary_tolerance) {
+  SSLIC_CHECK(!truths.empty());
+  MultiGroundTruthQuality q;
+  q.annotators = static_cast<int>(truths.size());
+  q.use_best = std::numeric_limits<double>::max();
+  q.recall_best = 0.0;
+  for (const LabelImage& truth : truths) {
+    const OverlapTable table(superpixels, truth);
+    const double use = undersegmentation_error(table);
+    const double recall = boundary_recall(superpixels, truth, boundary_tolerance);
+    q.use_mean += use;
+    q.use_min_mean += undersegmentation_error_min(table);
+    q.recall_mean += recall;
+    q.asa_mean += achievable_segmentation_accuracy(table);
+    q.use_best = std::min(q.use_best, use);
+    q.recall_best = std::max(q.recall_best, recall);
+  }
+  const auto n = static_cast<double>(truths.size());
+  q.use_mean /= n;
+  q.use_min_mean /= n;
+  q.recall_mean /= n;
+  q.asa_mean /= n;
+  return q;
+}
+
+int count_labels(const LabelImage& labels) {
+  std::vector<bool> seen(static_cast<std::size_t>(max_label(labels)) + 1, false);
+  int count = 0;
+  for (const auto v : labels.pixels()) {
+    auto idx = static_cast<std::size_t>(v);
+    if (!seen[idx]) {
+      seen[idx] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace sslic

@@ -1,0 +1,124 @@
+// Superpixel quality metrics (paper Section 3, citing Achanta et al. [1]):
+// undersegmentation error (USE) and boundary recall, plus the standard
+// companions (achievable segmentation accuracy, compactness) used by the
+// extended experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+
+namespace sslic {
+
+/// Contingency table between a superpixel labelling and a ground-truth
+/// partition: overlap counts |s_j ∩ g_i| for all co-occurring (j, i) pairs.
+class OverlapTable {
+ public:
+  OverlapTable(const LabelImage& superpixels, const LabelImage& ground_truth);
+
+  [[nodiscard]] int num_superpixels() const { return num_sp_; }
+  [[nodiscard]] int num_regions() const { return num_gt_; }
+  [[nodiscard]] std::size_t num_pixels() const { return num_pixels_; }
+
+  struct Overlap {
+    std::int32_t sp = 0;
+    std::int32_t gt = 0;
+    std::int64_t count = 0;
+  };
+  [[nodiscard]] const std::vector<Overlap>& overlaps() const { return overlaps_; }
+
+  /// |s_j| for each superpixel j.
+  [[nodiscard]] const std::vector<std::int64_t>& superpixel_sizes() const {
+    return sp_size_;
+  }
+  /// |g_i| for each ground-truth region i.
+  [[nodiscard]] const std::vector<std::int64_t>& region_sizes() const {
+    return gt_size_;
+  }
+
+ private:
+  int num_sp_ = 0;
+  int num_gt_ = 0;
+  std::size_t num_pixels_ = 0;
+  std::vector<Overlap> overlaps_;
+  std::vector<std::int64_t> sp_size_;
+  std::vector<std::int64_t> gt_size_;
+};
+
+/// Achanta-style undersegmentation error:
+///   USE = (1/N) * [ Σ_i Σ_{j : |s_j ∩ g_i| >= min_overlap_fraction*|s_j|} |s_j| ] - 1.
+/// Superpixels "leaking" across a ground-truth boundary are charged their
+/// full size against every region they materially overlap. 0 is perfect;
+/// typical BSDS values for K≈900 are 0.1-0.25.
+double undersegmentation_error(const OverlapTable& table,
+                               double min_overlap_fraction = 0.05);
+
+/// Neubert/Protzel corrected USE: charges each (superpixel, region) pair
+/// min(|s_j ∩ g_i|, |s_j \ g_i|) — insensitive to the overlap threshold.
+double undersegmentation_error_min(const OverlapTable& table);
+
+/// Boundary recall: the fraction of ground-truth boundary pixels that have
+/// a superpixel boundary pixel within Chebyshev distance `tolerance`.
+/// 1 is perfect.
+double boundary_recall(const LabelImage& superpixels,
+                       const LabelImage& ground_truth, int tolerance = 2);
+
+/// Boundary precision: fraction of superpixel boundary pixels within
+/// `tolerance` of a ground-truth boundary pixel.
+double boundary_precision(const LabelImage& superpixels,
+                          const LabelImage& ground_truth, int tolerance = 2);
+
+/// Achievable segmentation accuracy: the best achievable accuracy when each
+/// superpixel is assigned wholesale to its dominant ground-truth region.
+double achievable_segmentation_accuracy(const OverlapTable& table);
+
+/// Mean isoperimetric compactness of the superpixels:
+/// mean over j of 4π|s_j| / P_j² where P_j is the 4-connected perimeter.
+double compactness(const LabelImage& superpixels);
+
+/// Explained variation (Moore et al.): the fraction of image color
+/// variance captured by replacing each pixel with its superpixel's mean
+/// color — 1 means superpixels explain the image perfectly. Computed on
+/// CIELAB.
+double explained_variation(const LabelImage& superpixels, const LabImage& lab);
+
+/// Contour density: superpixel boundary pixels as a fraction of all pixels
+/// (a cost measure — more boundary means more downstream work).
+double contour_density(const LabelImage& superpixels);
+
+/// Variation of information between two partitions (Meilă): H(A|B)+H(B|A)
+/// in nats; 0 means identical partitions (up to relabeling). Symmetric.
+double variation_of_information(const LabelImage& a, const LabelImage& b);
+
+/// Convenience wrappers constructing the overlap table internally.
+double undersegmentation_error(const LabelImage& superpixels,
+                               const LabelImage& ground_truth,
+                               double min_overlap_fraction = 0.05);
+double undersegmentation_error_min(const LabelImage& superpixels,
+                                   const LabelImage& ground_truth);
+double achievable_segmentation_accuracy(const LabelImage& superpixels,
+                                        const LabelImage& ground_truth);
+
+/// Number of distinct labels present (labels must be non-negative).
+int count_labels(const LabelImage& labels);
+
+/// Aggregate quality against several ground-truth annotations (BSDS images
+/// carry ~5 human segmentations; the evaluation protocol averages over
+/// them, and "best" columns show the most favourable annotator).
+struct MultiGroundTruthQuality {
+  double use_mean = 0.0;
+  double use_best = 0.0;       ///< minimum USE over annotators
+  double use_min_mean = 0.0;   ///< Neubert min-variant, mean
+  double recall_mean = 0.0;
+  double recall_best = 0.0;    ///< maximum recall over annotators
+  double asa_mean = 0.0;
+  int annotators = 0;
+};
+
+/// Evaluates one superpixel labelling against every annotation.
+MultiGroundTruthQuality evaluate_against_annotators(
+    const LabelImage& superpixels, const std::vector<LabelImage>& truths,
+    int boundary_tolerance = 2);
+
+}  // namespace sslic

@@ -1,0 +1,124 @@
+#include "slic/connectivity.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace sslic {
+namespace {
+
+constexpr int kDx[4] = {-1, 1, 0, 0};
+constexpr int kDy[4] = {0, 0, -1, 1};
+
+}  // namespace
+
+ConnectivityResult enforce_connectivity(LabelImage& labels,
+                                        int expected_superpixels) {
+  SSLIC_CHECK(expected_superpixels >= 1);
+  const int w = labels.width();
+  const int h = labels.height();
+  SSLIC_CHECK(w > 0 && h > 0);
+  const std::size_t n = labels.size();
+  const std::size_t min_size =
+      std::max<std::size_t>(1, n / static_cast<std::size_t>(expected_superpixels) / 4);
+
+  LabelImage out(w, h, -1);
+  std::vector<std::int32_t> stack;  // flood-fill worklist of flat indices
+  ConnectivityResult result;
+  std::int32_t next_label = 0;
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (out(x, y) >= 0) continue;
+
+      // The component merged into when this one turns out to be a stray
+      // fragment: the most recent already-relabelled 4-neighbour in scan
+      // order (exists for every component except the first).
+      std::int32_t adjacent_label = next_label > 0 ? 0 : -1;
+      for (int d = 0; d < 4; ++d) {
+        const int nx2 = x + kDx[d];
+        const int ny2 = y + kDy[d];
+        if (nx2 >= 0 && nx2 < w && ny2 >= 0 && ny2 < h && out(nx2, ny2) >= 0)
+          adjacent_label = out(nx2, ny2);
+      }
+
+      // Flood-fill this component under the original labelling.
+      const std::int32_t original = labels(x, y);
+      out(x, y) = next_label;
+      stack.clear();
+      stack.push_back(static_cast<std::int32_t>(y) * w + x);
+      std::vector<std::int32_t> member_indices{stack.back()};
+      while (!stack.empty()) {
+        const std::int32_t flat = stack.back();
+        stack.pop_back();
+        const int cx = flat % w;
+        const int cy = flat / w;
+        for (int d = 0; d < 4; ++d) {
+          const int nx2 = cx + kDx[d];
+          const int ny2 = cy + kDy[d];
+          if (nx2 < 0 || nx2 >= w || ny2 < 0 || ny2 >= h) continue;
+          if (out(nx2, ny2) >= 0 || labels(nx2, ny2) != original) continue;
+          out(nx2, ny2) = next_label;
+          const std::int32_t nf = static_cast<std::int32_t>(ny2) * w + nx2;
+          stack.push_back(nf);
+          member_indices.push_back(nf);
+        }
+      }
+
+      if (member_indices.size() < min_size && adjacent_label >= 0) {
+        for (const std::int32_t flat : member_indices)
+          out.pixels()[static_cast<std::size_t>(flat)] = adjacent_label;
+        result.components_merged += 1;
+        result.pixels_moved += member_indices.size();
+      } else {
+        ++next_label;
+      }
+    }
+  }
+
+  labels = std::move(out);
+  result.final_label_count = next_label;
+  return result;
+}
+
+bool is_fully_connected(const LabelImage& labels) {
+  const int w = labels.width();
+  const int h = labels.height();
+  if (w == 0 || h == 0) return true;
+  Image<std::uint8_t> seen(w, h, 0);
+  std::vector<bool> label_seen;
+  std::vector<std::int32_t> stack;
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (seen(x, y)) continue;
+      const std::int32_t label = labels(x, y);
+      SSLIC_CHECK(label >= 0);
+      if (static_cast<std::size_t>(label) >= label_seen.size())
+        label_seen.resize(static_cast<std::size_t>(label) + 1, false);
+      if (label_seen[static_cast<std::size_t>(label)]) return false;  // 2nd component
+      label_seen[static_cast<std::size_t>(label)] = true;
+
+      seen(x, y) = 1;
+      stack.clear();
+      stack.push_back(static_cast<std::int32_t>(y) * w + x);
+      while (!stack.empty()) {
+        const std::int32_t flat = stack.back();
+        stack.pop_back();
+        const int cx = flat % w;
+        const int cy = flat / w;
+        for (int d = 0; d < 4; ++d) {
+          const int nx2 = cx + kDx[d];
+          const int ny2 = cy + kDy[d];
+          if (nx2 < 0 || nx2 >= w || ny2 < 0 || ny2 >= h) continue;
+          if (seen(nx2, ny2) || labels(nx2, ny2) != label) continue;
+          seen(nx2, ny2) = 1;
+          stack.push_back(static_cast<std::int32_t>(ny2) * w + nx2);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sslic

@@ -1,0 +1,29 @@
+// Connectivity enforcement (paper Section 2): after convergence "a final
+// step is performed to enforce the connectivity, ensuring that any stray
+// pixels that may still be disjoint are assigned to the closest large SP".
+//
+// This is Achanta et al.'s post-pass: relabel 4-connected components in
+// scan order; components smaller than a quarter of the mean superpixel size
+// are absorbed into the previously-labelled adjacent component.
+#pragma once
+
+#include "image/image.h"
+
+namespace sslic {
+
+struct ConnectivityResult {
+  int final_label_count = 0;    ///< labels after relabelling (0..count-1)
+  int components_merged = 0;    ///< stray fragments absorbed
+  std::size_t pixels_moved = 0; ///< pixels whose label changed by merging
+};
+
+/// Enforces 4-connectivity in place. `expected_superpixels` sets the
+/// minimum-fragment threshold to (N / expected_superpixels) / 4, matching
+/// the reference SLIC implementation. Output labels are compact (0..n-1).
+ConnectivityResult enforce_connectivity(LabelImage& labels,
+                                        int expected_superpixels);
+
+/// True when every label forms a single 4-connected component.
+bool is_fully_connected(const LabelImage& labels);
+
+}  // namespace sslic

@@ -1,0 +1,115 @@
+// The 5-D color-space distance of Eq. 5 and the data-width quantization
+// used by the bit-width exploration (paper Section 6.1).
+//
+// All implementations compare *squared* combined distances: Eq. 5's square
+// root is monotonic, so omitting it never changes an argmin. This is also
+// what the hardware does — the paper notes S-SLIC accuracy depends only on
+// relative distance comparisons.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "image/image.h"
+#include "slic/types.h"
+
+namespace sslic {
+
+/// Uniform quantizer over a fixed component range: models storing a value
+/// in `bits` bits. bits == 0 means identity (the 64-bit float reference).
+class RangeQuantizer {
+ public:
+  RangeQuantizer() = default;  // identity
+
+  RangeQuantizer(double lo, double hi, int bits) : lo_(lo), hi_(hi), bits_(bits) {
+    SSLIC_CHECK(hi > lo);
+    SSLIC_CHECK(bits >= 1 && bits <= 16);
+    levels_ = static_cast<double>((1 << bits) - 1);
+    step_ = (hi_ - lo_) / levels_;
+  }
+
+  [[nodiscard]] bool is_identity() const { return bits_ == 0; }
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] double step() const { return step_; }
+
+  [[nodiscard]] double apply(double v) const {
+    if (is_identity()) return v;
+    const double clamped = std::clamp(v, lo_, hi_);
+    return lo_ + std::round((clamped - lo_) / step_) * step_;
+  }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  int bits_ = 0;
+  double levels_ = 1.0;
+  double step_ = 0.0;
+};
+
+/// Quantization policy for the pixel/center data representation.
+/// `color_bits == 0` is the floating-point reference. The component ranges
+/// follow the 8-bit Lab encoding the accelerator stores in its scratch pads
+/// (L in [0,100]; a,b in [-128,127]).
+struct DataWidth {
+  int color_bits = 0;
+
+  [[nodiscard]] static DataWidth float64() { return {0}; }
+  [[nodiscard]] static DataWidth fixed(int bits) { return {bits}; }
+};
+
+/// Evaluates Eq. 5 (squared form) with optional data-width quantization
+/// applied to the color components of both operands.
+class DistanceCalculator {
+ public:
+  /// `spacing` is the grid interval S; `compactness` is m.
+  DistanceCalculator(double compactness, double spacing,
+                     DataWidth width = DataWidth::float64())
+      : spatial_weight_(compactness * compactness / (spacing * spacing)) {
+    SSLIC_CHECK(compactness > 0.0 && spacing > 0.0);
+    if (width.color_bits != 0) {
+      quantize_l_ = RangeQuantizer(0.0, 100.0, width.color_bits);
+      quantize_ab_ = RangeQuantizer(-128.0, 127.0, width.color_bits);
+    }
+  }
+
+  /// Quantizes one Lab value to the configured data width (identity for the
+  /// float reference). Applied to the image once per run and to centers
+  /// after each update, modelling n-bit storage.
+  [[nodiscard]] LabF quantize(const LabF& lab) const {
+    if (quantize_l_.is_identity()) return lab;
+    return {static_cast<float>(quantize_l_.apply(static_cast<double>(lab.L))),
+            static_cast<float>(quantize_ab_.apply(static_cast<double>(lab.a))),
+            static_cast<float>(quantize_ab_.apply(static_cast<double>(lab.b)))};
+  }
+
+  /// Quantizes a center's color fields in place.
+  void quantize_center(ClusterCenter& c) const {
+    if (quantize_l_.is_identity()) return;
+    c.L = quantize_l_.apply(c.L);
+    c.a = quantize_ab_.apply(c.a);
+    c.b = quantize_ab_.apply(c.b);
+  }
+
+  /// Squared combined distance: dc^2 + (m/S)^2 * ds^2 (Eq. 5, squared).
+  [[nodiscard]] double squared(const LabF& color, double x, double y,
+                               const ClusterCenter& c) const {
+    const double dl = static_cast<double>(color.L) - c.L;
+    const double da = static_cast<double>(color.a) - c.a;
+    const double db = static_cast<double>(color.b) - c.b;
+    const double dx = x - c.x;
+    const double dy = y - c.y;
+    const double dc2 = dl * dl + da * da + db * db;
+    const double ds2 = dx * dx + dy * dy;
+    return dc2 + spatial_weight_ * ds2;
+  }
+
+  [[nodiscard]] double spatial_weight() const { return spatial_weight_; }
+
+ private:
+  double spatial_weight_;  // m^2 / S^2
+  RangeQuantizer quantize_l_;
+  RangeQuantizer quantize_ab_;
+};
+
+}  // namespace sslic

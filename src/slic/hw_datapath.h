@@ -1,0 +1,100 @@
+// Bit-exact software model of the S-SLIC accelerator datapath (paper
+// Fig. 4): LUT-based color conversion into 8-bit planar scratch pads, a
+// Cluster Update Unit with nine integer color-distance calculators, a 9:1
+// minimum tree, six-field integer sigma registers, and an integer Center
+// Update Unit divider.
+//
+// This is the "synthesizable C" algorithm model: every arithmetic step is
+// integer with hardware-realizable widths, and the result is the exact
+// label map the accelerator would produce. The performance/energy model in
+// src/hw costs this same schedule; the two share HwConfig so design-space
+// choices stay consistent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "color/lut_color_unit.h"
+#include "image/image.h"
+#include "slic/types.h"
+
+namespace sslic {
+
+/// Accelerator algorithm configuration.
+struct HwConfig {
+  int num_superpixels = 5000;   ///< K (Tables 4-5 use 5000)
+  double compactness = 10.0;    ///< m of Eq. 5
+  int iterations = 9;           ///< fixed FSM iteration count (Section 7)
+  double subsample_ratio = 0.5; ///< S-SLIC pixel subsampling (1/n)
+  /// Width of the distance register leaving each color-distance calculator.
+  /// 0 keeps the exact integer comparison; 8 models the paper's "returns
+  /// the 8-bit distance" register by keeping the top 8 bits (saturating).
+  int distance_register_bits = 0;
+  /// Run the software connectivity post-pass on the result (the paper's
+  /// accelerator leaves this to software, Section 4.1).
+  bool enforce_connectivity = true;
+  /// Color conversion unit configuration (LUT sizes).
+  LutColorUnit::Config color;
+};
+
+/// Integer cluster center registers: 8-bit Lab8 color plus pixel
+/// coordinates (x, y fit in 11/12 bits at 1080p).
+struct HwCenter {
+  std::int32_t L = 0;  // Lab8-encoded, 0..255
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+};
+
+/// Event counts of one accelerator run, consumed by the performance model.
+struct HwRunStats {
+  std::uint64_t pixels_converted = 0;  ///< color conversion unit activations
+  std::uint64_t pixels_visited = 0;    ///< cluster-update pixel slots
+  std::uint64_t tiles_processed = 0;
+  std::uint64_t center_updates = 0;    ///< centers recomputed (sum over iters)
+  std::uint64_t iterations = 0;
+
+  // 8-bit datapath DRAM traffic convention (bytes): channel data is 1 B per
+  // pixel per channel; the index map is 1 B per pixel (K <= 256 per tile
+  // candidate set, global ids remapped per tile); centers are 8 B.
+  std::uint64_t dram_image_read = 0;
+  std::uint64_t dram_index_read = 0;
+  std::uint64_t dram_index_write = 0;
+  std::uint64_t dram_center_read = 0;
+  std::uint64_t dram_center_write = 0;
+
+  [[nodiscard]] std::uint64_t dram_total() const {
+    return dram_image_read + dram_index_read + dram_index_write +
+           dram_center_read + dram_center_write;
+  }
+};
+
+/// The accelerator golden model.
+class HwSlic {
+ public:
+  explicit HwSlic(HwConfig config);
+
+  /// Runs the full FSM schedule on an RGB frame: color conversion, static
+  /// candidate assignment, `iterations` cluster/center updates.
+  [[nodiscard]] Segmentation segment(const RgbImage& image,
+                                     HwRunStats* stats = nullptr) const;
+
+  [[nodiscard]] const HwConfig& config() const { return config_; }
+
+  /// The integer combined distance (Eq. 5 squared, integer datapath) —
+  /// exposed for unit tests. `weight_q8` is round(m^2/S^2 * 256).
+  static std::int32_t integer_distance(const Lab8& pixel, int px, int py,
+                                       const HwCenter& center,
+                                       std::int32_t weight_q8);
+
+  /// Saturating top-bits reduction of a distance value to `bits` bits with
+  /// the run's `shift`; exposed for unit tests.
+  static std::int32_t quantize_distance(std::int32_t d, int bits, int shift);
+
+ private:
+  HwConfig config_;
+  LutColorUnit color_unit_;
+};
+
+}  // namespace sslic

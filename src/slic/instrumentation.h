@@ -1,0 +1,130 @@
+// Operation and DRAM-traffic accounting (paper Table 2).
+//
+// Accounting conventions, chosen to match the paper's published figures and
+// used consistently by every instrumented implementation:
+//
+// Operations
+//   * One 5-D color-space distance evaluation (Eq. 5) costs 7 arithmetic
+//     operations: 5 fused subtract-square-accumulate steps (one per
+//     component), 1 spatial scaling by m^2/S^2, and 1 final add. This
+//     convention reproduces Table 2 exactly: PPA performs 9 distance
+//     evaluations per pixel (9*7*N ≈ 130M OPs/iteration at 1080p) and CPA
+//     on average 4 (a pixel lies in 4 overlapping 2Sx2S windows;
+//     4*7*N ≈ 58M OPs/iteration).
+//   * Minimum-search compares and sigma-accumulation adds are counted in
+//     separate fields; the Table-2 "Operation count" row is distance ops
+//     only (the paper's 2.25x = 9/4 ratio is exact only for distance ops).
+//
+// DRAM traffic (bytes), software-prototype convention (floating-point
+// buffers, as profiled on the CPU in the paper's Section 4.2):
+//   * Lab pixel: 12 B (3 floats). Label: 4 B. Min-distance entry: 4 B.
+//     Static 9-nearest-center tile record: 18 B (9 u16 ids).
+//   * PPA per iteration: each visited pixel reads Lab (12) + its candidate
+//     record (18) + label (4), writes label (4), and reads+writes the
+//     running min-distance entry (8) => 46 B per visited pixel.
+//   * CPA per iteration: each center streams its 2Sx2S window; a pixel is
+//     covered by ~4 windows; each visit reads Lab (12) + min-distance (4)
+//     and writes back min-distance (4) + label (4) unconditionally (the
+//     streaming-writeback convention: a DRAM-backed buffer line is written
+//     whether or not the value improved) => ~96 B per pixel, plus the
+//     center-update sigma pass (Lab + label reads, 16 B/px) and the
+//     distance-buffer reset.
+// The conventions are deliberately explicit so the Table-2 bench can print
+// measured traffic next to the paper's 100/318 MB per iteration; the
+// measured CPA value (~250 MB) undercuts the paper's 318 MB — the paper
+// profiled real cache-miss traffic, which overfetches — but the ordering
+// and the "several-fold more than PPA" conclusion reproduce.
+#pragma once
+
+#include <cstdint>
+
+namespace sslic {
+
+/// Arithmetic-operation counters.
+struct OpCounts {
+  std::uint64_t distance_evals = 0;  ///< 5-D distance evaluations (Eq. 5)
+  std::uint64_t compare_ops = 0;     ///< minimum-search comparisons
+  std::uint64_t accumulate_ops = 0;  ///< sigma-register additions
+  std::uint64_t divide_ops = 0;      ///< center-update divisions
+
+  /// Ops per distance evaluation under the documented convention.
+  static constexpr std::uint64_t kOpsPerDistance = 7;
+
+  /// Distance-only operation count (the paper's Table-2 row).
+  [[nodiscard]] std::uint64_t distance_ops() const {
+    return distance_evals * kOpsPerDistance;
+  }
+
+  /// All counted arithmetic operations.
+  [[nodiscard]] std::uint64_t total_ops() const {
+    return distance_ops() + compare_ops + accumulate_ops + divide_ops;
+  }
+
+  OpCounts& operator+=(const OpCounts& other) {
+    distance_evals += other.distance_evals;
+    compare_ops += other.compare_ops;
+    accumulate_ops += other.accumulate_ops;
+    divide_ops += other.divide_ops;
+    return *this;
+  }
+};
+
+/// DRAM traffic counters in bytes, by stream.
+struct MemTraffic {
+  std::uint64_t image_read = 0;       ///< Lab pixel data
+  std::uint64_t label_read = 0;
+  std::uint64_t label_write = 0;
+  std::uint64_t distance_read = 0;    ///< min-distance buffer
+  std::uint64_t distance_write = 0;
+  std::uint64_t candidate_read = 0;   ///< static 9-nearest-center records
+  std::uint64_t center_read = 0;      ///< cluster center fetch
+  std::uint64_t center_write = 0;     ///< cluster center write-back
+
+  [[nodiscard]] std::uint64_t total() const {
+    return image_read + label_read + label_write + distance_read +
+           distance_write + candidate_read + center_read + center_write;
+  }
+
+  MemTraffic& operator+=(const MemTraffic& other) {
+    image_read += other.image_read;
+    label_read += other.label_read;
+    label_write += other.label_write;
+    distance_read += other.distance_read;
+    distance_write += other.distance_write;
+    candidate_read += other.candidate_read;
+    center_read += other.center_read;
+    center_write += other.center_write;
+    return *this;
+  }
+
+  /// Buffer-entry sizes of the software-prototype convention (see header
+  /// comment).
+  static constexpr std::uint64_t kLabBytes = 12;
+  static constexpr std::uint64_t kLabelBytes = 4;
+  static constexpr std::uint64_t kDistanceBytes = 4;
+  static constexpr std::uint64_t kCandidateBytes = 18;
+  static constexpr std::uint64_t kCenterBytes = 20;  // 5 floats
+};
+
+/// Combined instrumentation record a segmenter fills per run.
+struct Instrumentation {
+  OpCounts ops;
+  MemTraffic traffic;
+  std::uint64_t iterations = 0;
+  std::uint64_t tiles_skipped = 0;  ///< preemptive extension: tiles skipped
+
+  /// Per-iteration averages (0 when no iteration ran).
+  [[nodiscard]] double distance_ops_per_iteration() const {
+    return iterations == 0
+               ? 0.0
+               : static_cast<double>(ops.distance_ops()) /
+                     static_cast<double>(iterations);
+  }
+  [[nodiscard]] double traffic_bytes_per_iteration() const {
+    return iterations == 0 ? 0.0
+                           : static_cast<double>(traffic.total()) /
+                                 static_cast<double>(iterations);
+  }
+};
+
+}  // namespace sslic

@@ -1,0 +1,186 @@
+#include "slic/slic_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "slic/center_update.h"
+#include "slic/connectivity.h"
+#include "slic/distance.h"
+#include "slic/grid.h"
+#include "slic/subset_schedule.h"
+
+namespace sslic {
+
+CpaSlic::CpaSlic(SlicParams params) : params_(params) {
+  SSLIC_CHECK(params_.num_superpixels >= 1);
+  SSLIC_CHECK(params_.compactness > 0.0);
+  SSLIC_CHECK(params_.max_iterations >= 1);
+}
+
+Segmentation CpaSlic::segment(const RgbImage& image,
+                              const IterationCallback& callback,
+                              Instrumentation* instrumentation,
+                              PhaseTimer* phases) const {
+  LabImage lab;
+  {
+    Stopwatch watch;
+    lab = srgb_to_lab(image);
+    if (phases != nullptr) phases->add(kPhaseColorConversion, watch.elapsed_ms());
+  }
+  return segment_lab(lab, callback, instrumentation, phases);
+}
+
+Segmentation CpaSlic::segment_lab(const LabImage& lab,
+                                  const IterationCallback& callback,
+                                  Instrumentation* instrumentation,
+                                  PhaseTimer* phases) const {
+  SSLIC_CHECK(!lab.empty());
+  const int w = lab.width();
+  const int h = lab.height();
+  const std::size_t n = lab.size();
+
+  Instrumentation local_instr;
+  Instrumentation& instr = instrumentation != nullptr ? *instrumentation : local_instr;
+  instr = Instrumentation{};
+
+  Stopwatch init_watch;
+  const CenterGrid grid(w, h, params_.num_superpixels);
+  const double spacing = grid.spacing();
+  const DistanceCalculator dist(params_.compactness, spacing);
+  const SubsetSchedule schedule = SubsetSchedule::from_ratio(params_.subsample_ratio);
+  const int num_centers = grid.num_centers();
+
+  Segmentation result;
+  result.centers = seed_centers(grid, lab, params_.perturb_centers);
+  result.labels = initial_labels(grid);
+
+  // Persistent minimum-distance buffer ("two memory buffers as large as the
+  // image", paper Section 2). For full SLIC it is reset every iteration.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  const bool subsampled = schedule.count() > 1;
+  if (subsampled) {
+    // Subsampled CPA keeps the buffer across iterations, so it must start
+    // with the distance to the initially-assigned center.
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const auto label = static_cast<std::size_t>(result.labels(x, y));
+        min_dist[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+                 static_cast<std::size_t>(x)] =
+            dist.squared(lab(x, y), x, y, result.centers[label]);
+      }
+    }
+    instr.ops.distance_evals += n;
+  }
+
+  std::vector<Sigma> sigmas(static_cast<std::size_t>(num_centers));
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(num_centers), 1);
+  if (phases != nullptr) phases->add(kPhaseOther, init_watch.elapsed_ms());
+
+  // 2S x 2S search rectangle centred on each SP (paper Section 2): +/- S.
+  const int window = std::max(1, static_cast<int>(std::lround(spacing)));
+  double callback_ms_total = 0.0;
+
+  for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    Stopwatch iter_watch;
+    IterationStats stats;
+    stats.iteration = iter;
+
+    // --- Assignment: scan each active center's 2Sx2S window. ---
+    Stopwatch assign_watch;
+    if (!subsampled) {
+      std::fill(min_dist.begin(), min_dist.end(),
+                std::numeric_limits<double>::infinity());
+      instr.traffic.distance_write += n * MemTraffic::kDistanceBytes;
+    }
+    const int active_subset = schedule.active_subset(iter);
+    for (std::size_t ci = 0; ci < result.centers.size(); ++ci) {
+      const bool is_active =
+          !subsampled || static_cast<int>(ci) % schedule.count() == active_subset;
+      active[ci] = is_active ? 1 : 0;
+      if (!is_active) continue;
+
+      const ClusterCenter& c = result.centers[ci];
+      const int cx = static_cast<int>(std::lround(c.x));
+      const int cy = static_cast<int>(std::lround(c.y));
+      const int x0 = std::max(0, cx - window);
+      const int x1 = std::min(w - 1, cx + window);
+      const int y0 = std::max(0, cy - window);
+      const int y1 = std::min(h - 1, cy + window);
+      instr.traffic.center_read += MemTraffic::kCenterBytes;
+
+      for (int y = y0; y <= y1; ++y) {
+        const std::size_t row = static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+        for (int x = x0; x <= x1; ++x) {
+          const double d = dist.squared(lab(x, y), x, y, c);
+          const std::size_t flat = row + static_cast<std::size_t>(x);
+          instr.ops.distance_evals += 1;
+          instr.ops.compare_ops += 1;
+          // Streaming-writeback convention: the distance/label lines of
+          // every visited pixel are written back whether or not the value
+          // improved (see instrumentation.h).
+          instr.traffic.image_read += MemTraffic::kLabBytes;
+          instr.traffic.distance_read += MemTraffic::kDistanceBytes;
+          instr.traffic.distance_write += MemTraffic::kDistanceBytes;
+          instr.traffic.label_write += MemTraffic::kLabelBytes;
+          if (d < min_dist[flat]) {
+            min_dist[flat] = d;
+            result.labels.pixels()[flat] = static_cast<std::int32_t>(ci);
+          }
+        }
+      }
+      stats.pixels_visited += static_cast<std::size_t>(x1 - x0 + 1) *
+                              static_cast<std::size_t>(y1 - y0 + 1);
+    }
+    if (phases != nullptr) phases->add(kPhaseDistanceMin, assign_watch.elapsed_ms());
+
+    // --- Center update: full sigma pass, then divide. ---
+    Stopwatch update_watch;
+    for (auto& s : sigmas) s.clear();
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const auto label = static_cast<std::size_t>(result.labels(x, y));
+        sigmas[label].add(lab(x, y), x, y);
+      }
+    }
+    instr.ops.accumulate_ops += 6 * n;
+    instr.traffic.image_read += n * MemTraffic::kLabBytes;
+    instr.traffic.label_read += n * MemTraffic::kLabelBytes;
+
+    stats.center_movement = update_centers(result.centers, sigmas,
+                                           subsampled ? active
+                                                      : std::vector<std::uint8_t>{},
+                                           &instr.ops);
+    instr.traffic.center_write +=
+        static_cast<std::uint64_t>(num_centers) * MemTraffic::kCenterBytes;
+    if (phases != nullptr) phases->add(kPhaseCenterUpdate, update_watch.elapsed_ms());
+
+    instr.iterations += 1;
+    result.iterations_run = iter + 1;
+    stats.elapsed_ms = iter_watch.elapsed_ms();
+    result.trace.push_back(stats);
+
+    if (callback) {
+      Stopwatch cb_watch;
+      callback(stats, result.labels, result.centers);
+      callback_ms_total += cb_watch.elapsed_ms();
+    }
+    if (params_.convergence_threshold > 0.0 &&
+        stats.center_movement < params_.convergence_threshold &&
+        iter + 1 >= schedule.count()) {
+      break;  // every subset has been visited at least once
+    }
+  }
+  (void)callback_ms_total;  // callbacks are excluded from phase totals by design
+
+  if (params_.enforce_connectivity) {
+    Stopwatch conn_watch;
+    enforce_connectivity(result.labels, params_.num_superpixels);
+    if (phases != nullptr) phases->add(kPhaseOther, conn_watch.elapsed_ms());
+  }
+  return result;
+}
+
+}  // namespace sslic

@@ -1,0 +1,52 @@
+// Center Perspective Architecture (CPA) SLIC — the original algorithm of
+// Achanta et al. as the paper's Fig. 1a describes it, plus the
+// center-subsampled S-SLIC CPA variant of Section 3.
+//
+// With subsample_ratio == 1 this is exact baseline SLIC: every iteration
+// resets the minimum-distance buffer, scans the 2Sx2S window of every
+// center, reassigns every pixel, and recomputes every center.
+//
+// With subsample_ratio == 1/n the centers are split into n equal
+// round-robin subsets; each iteration scans only the active subset's
+// windows, so the minimum-distance buffer persists across iterations
+// (distances of inactive centers age — the accuracy cost the paper observes
+// for CPA subsampling relative to PPA).
+#pragma once
+
+#include "color/color_convert.h"
+#include "common/stopwatch.h"
+#include "slic/instrumentation.h"
+#include "slic/types.h"
+
+namespace sslic {
+
+/// CPA SLIC segmenter (baseline SLIC when subsample_ratio == 1).
+class CpaSlic {
+ public:
+  explicit CpaSlic(SlicParams params);
+
+  /// Segments an RGB image (color conversion timed as its own phase).
+  [[nodiscard]] Segmentation segment(const RgbImage& image,
+                                     const IterationCallback& callback = {},
+                                     Instrumentation* instrumentation = nullptr,
+                                     PhaseTimer* phases = nullptr) const;
+
+  /// Segments an already-converted Lab image.
+  [[nodiscard]] Segmentation segment_lab(const LabImage& lab,
+                                         const IterationCallback& callback = {},
+                                         Instrumentation* instrumentation = nullptr,
+                                         PhaseTimer* phases = nullptr) const;
+
+  [[nodiscard]] const SlicParams& params() const { return params_; }
+
+  /// Phase names used with PhaseTimer (Table 1's row categories).
+  static constexpr const char* kPhaseColorConversion = "color_conversion";
+  static constexpr const char* kPhaseDistanceMin = "distance_min";
+  static constexpr const char* kPhaseCenterUpdate = "center_update";
+  static constexpr const char* kPhaseOther = "other";
+
+ private:
+  SlicParams params_;
+};
+
+}  // namespace sslic

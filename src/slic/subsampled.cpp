@@ -1,0 +1,263 @@
+#include "slic/subsampled.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "slic/center_update.h"
+#include "slic/connectivity.h"
+#include "slic/grid.h"
+#include "slic/slic_baseline.h"
+#include "slic/subset_schedule.h"
+
+namespace sslic {
+
+PpaSlic::PpaSlic(SlicParams params, DataWidth data_width)
+    : params_(params), data_width_(data_width) {
+  SSLIC_CHECK(params_.num_superpixels >= 1);
+  SSLIC_CHECK(params_.compactness > 0.0);
+  SSLIC_CHECK(params_.max_iterations >= 1);
+}
+
+Segmentation PpaSlic::segment(const RgbImage& image,
+                              const IterationCallback& callback,
+                              Instrumentation* instrumentation,
+                              PhaseTimer* phases) const {
+  LabImage lab;
+  {
+    Stopwatch watch;
+    lab = srgb_to_lab(image);
+    if (phases != nullptr)
+      phases->add(CpaSlic::kPhaseColorConversion, watch.elapsed_ms());
+  }
+  return segment_lab(lab, callback, instrumentation, phases);
+}
+
+Segmentation PpaSlic::segment_lab(const LabImage& lab,
+                                  const IterationCallback& callback,
+                                  Instrumentation* instrumentation,
+                                  PhaseTimer* phases) const {
+  return segment_impl(lab, nullptr, callback, instrumentation, phases);
+}
+
+Segmentation PpaSlic::segment_lab_warm(
+    const LabImage& lab, const std::vector<ClusterCenter>& initial_centers,
+    const IterationCallback& callback, Instrumentation* instrumentation,
+    PhaseTimer* phases) const {
+  return segment_impl(lab, &initial_centers, callback, instrumentation, phases);
+}
+
+Segmentation PpaSlic::segment_impl(const LabImage& lab,
+                                   const std::vector<ClusterCenter>* warm_centers,
+                                   const IterationCallback& callback,
+                                   Instrumentation* instrumentation,
+                                   PhaseTimer* phases) const {
+  SSLIC_CHECK(!lab.empty());
+  const int w = lab.width();
+  const int h = lab.height();
+  const std::size_t n = lab.size();
+
+  Instrumentation local_instr;
+  Instrumentation& instr = instrumentation != nullptr ? *instrumentation : local_instr;
+  instr = Instrumentation{};
+
+  Stopwatch init_watch;
+  const CenterGrid grid(w, h, params_.num_superpixels);
+  const DistanceCalculator dist(params_.compactness, grid.spacing(), data_width_);
+  const SubsetSchedule schedule =
+      SubsetSchedule::from_ratio(params_.subsample_ratio, params_.subset_pattern);
+  const int num_centers = grid.num_centers();
+
+  // Model n-bit storage: the image (and, after every update, the centers)
+  // are held at the configured data width.
+  LabImage stored = lab;
+  if (data_width_.color_bits != 0) {
+    for (auto& px : stored.pixels()) px = dist.quantize(px);
+  }
+
+  Segmentation result;
+  if (warm_centers != nullptr) {
+    SSLIC_CHECK_MSG(static_cast<int>(warm_centers->size()) == num_centers,
+                    "warm start has " << warm_centers->size()
+                                      << " centers, grid needs " << num_centers);
+    result.centers = *warm_centers;
+    for (auto& c : result.centers) {
+      c.x = std::clamp(c.x, 0.0, static_cast<double>(w - 1));
+      c.y = std::clamp(c.y, 0.0, static_cast<double>(h - 1));
+    }
+  } else {
+    result.centers = seed_centers(grid, stored, params_.perturb_centers);
+  }
+  for (auto& c : result.centers) dist.quantize_center(c);
+  result.labels = initial_labels(grid);
+
+  const std::vector<CandidateList> candidates = build_candidate_map(grid);
+
+  // Running minimum-distance buffer (Fig. 1b keeps one in the software
+  // formulation; the accelerator holds the running minimum in registers).
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+
+  std::vector<Sigma> sigmas(static_cast<std::size_t>(num_centers));
+  // Preemptive extension state.
+  std::vector<std::uint8_t> frozen(static_cast<std::size_t>(num_centers), 0);
+  std::vector<std::uint8_t> calm_streak(static_cast<std::size_t>(num_centers), 0);
+  std::vector<std::uint8_t> tile_skipped(static_cast<std::size_t>(num_centers), 0);
+  if (phases != nullptr) phases->add(CpaSlic::kPhaseOther, init_watch.elapsed_ms());
+
+  for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    Stopwatch iter_watch;
+    IterationStats stats;
+    stats.iteration = iter;
+
+    // --- Per-pixel assignment over the active subset, tile by tile. ---
+    Stopwatch assign_watch;
+    std::fill(tile_skipped.begin(), tile_skipped.end(), std::uint8_t{0});
+    for (int gy = 0; gy < grid.ny(); ++gy) {
+      const int y0 = gy * h / grid.ny();
+      const int y1 = (gy + 1) * h / grid.ny();
+      for (int gx = 0; gx < grid.nx(); ++gx) {
+        const CandidateList& cand =
+            candidates[static_cast<std::size_t>(grid.center_index(gx, gy))];
+
+        if (params_.preemptive) {
+          const bool all_frozen =
+              std::all_of(cand.begin(), cand.end(), [&](std::int32_t c) {
+                return frozen[static_cast<std::size_t>(c)] != 0;
+              });
+          if (all_frozen) {
+            instr.tiles_skipped += 1;
+            tile_skipped[static_cast<std::size_t>(grid.center_index(gx, gy))] = 1;
+            continue;
+          }
+        }
+
+        const int x0 = gx * w / grid.nx();
+        const int x1 = (gx + 1) * w / grid.nx();
+        instr.traffic.center_read += 9 * MemTraffic::kCenterBytes;
+
+        for (int y = y0; y < y1; ++y) {
+          const std::size_t row =
+              static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+          for (int x = x0; x < x1; ++x) {
+            if (!schedule.active(x, y, iter)) continue;
+            const std::size_t flat = row + static_cast<std::size_t>(x);
+            const LabF& color = stored.pixels()[flat];
+
+            double best = std::numeric_limits<double>::infinity();
+            std::int32_t best_center = cand[0];
+            for (const std::int32_t ci : cand) {
+              const double d = dist.squared(
+                  color, x, y, result.centers[static_cast<std::size_t>(ci)]);
+              if (d < best) {
+                best = d;
+                best_center = ci;
+              }
+            }
+            instr.ops.distance_evals += 9;
+            instr.ops.compare_ops += 8;
+
+            min_dist[flat] = best;
+            result.labels.pixels()[flat] = best_center;
+            stats.pixels_visited += 1;
+          }
+        }
+        // Software-prototype DRAM convention (see instrumentation.h): per
+        // visited pixel Lab(12)+candidates(18)+label r/w(8)+min-dist r/w(8).
+        // Counted per pixel below via stats; candidate bytes are also
+        // charged per pixel to match the profiled prototype.
+      }
+    }
+    instr.traffic.image_read += stats.pixels_visited * MemTraffic::kLabBytes;
+    instr.traffic.candidate_read +=
+        stats.pixels_visited * MemTraffic::kCandidateBytes;
+    instr.traffic.label_read += stats.pixels_visited * MemTraffic::kLabelBytes;
+    instr.traffic.label_write += stats.pixels_visited * MemTraffic::kLabelBytes;
+    instr.traffic.distance_read +=
+        stats.pixels_visited * MemTraffic::kDistanceBytes;
+    instr.traffic.distance_write +=
+        stats.pixels_visited * MemTraffic::kDistanceBytes;
+    if (phases != nullptr)
+      phases->add(CpaSlic::kPhaseDistanceMin, assign_watch.elapsed_ms());
+
+    // --- Center update from the subset's accumulations (OS-EM style). ---
+    // The sigma accumulation runs as its own pass (the hardware's cluster
+    // update unit accumulates from tile-resident data, so this adds no
+    // DRAM traffic) and is charged to the center-update phase, matching
+    // the paper's Table-1 accounting.
+    Stopwatch update_watch;
+    for (auto& s : sigmas) s.clear();
+    for (int y = 0; y < h; ++y) {
+      const int gy = grid.cell_y(y);
+      for (int x = 0; x < w; ++x) {
+        if (!schedule.active(x, y, iter)) continue;
+        if (params_.preemptive &&
+            tile_skipped[static_cast<std::size_t>(
+                grid.center_index(grid.cell_x(x), gy))] != 0) {
+          continue;
+        }
+        const std::size_t flat =
+            static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+            static_cast<std::size_t>(x);
+        sigmas[static_cast<std::size_t>(result.labels.pixels()[flat])].add(
+            stored.pixels()[flat], x, y);
+        instr.ops.accumulate_ops += 6;
+      }
+    }
+    double movement_sum = 0.0;
+    std::size_t updated = 0;
+    for (std::size_t ci = 0; ci < result.centers.size(); ++ci) {
+      const Sigma& s = sigmas[ci];
+      if (s.count == 0) continue;
+      const double inv = 1.0 / static_cast<double>(s.count);
+      ClusterCenter next{s.L * inv, s.a * inv, s.b * inv, s.x * inv, s.y * inv};
+      dist.quantize_center(next);
+      const double moved =
+          std::abs(next.x - result.centers[ci].x) +
+          std::abs(next.y - result.centers[ci].y);
+      movement_sum += moved;
+      ++updated;
+      result.centers[ci] = next;
+      instr.ops.divide_ops += 5;
+
+      if (params_.preemptive) {
+        if (moved < params_.freeze_threshold) {
+          if (calm_streak[ci] < 255) calm_streak[ci] += 1;
+          if (calm_streak[ci] >= 2) frozen[ci] = 1;
+        } else {
+          calm_streak[ci] = 0;
+          frozen[ci] = 0;
+        }
+      }
+    }
+    stats.center_movement =
+        updated == 0 ? 0.0 : movement_sum / static_cast<double>(updated);
+    instr.traffic.center_write +=
+        static_cast<std::uint64_t>(num_centers) * MemTraffic::kCenterBytes;
+    if (phases != nullptr)
+      phases->add(CpaSlic::kPhaseCenterUpdate, update_watch.elapsed_ms());
+
+    instr.iterations += 1;
+    result.iterations_run = iter + 1;
+    stats.elapsed_ms = iter_watch.elapsed_ms();
+    result.trace.push_back(stats);
+
+    if (callback) callback(stats, result.labels, result.centers);
+
+    if (params_.convergence_threshold > 0.0 &&
+        stats.center_movement < params_.convergence_threshold &&
+        iter + 1 >= schedule.count()) {
+      break;
+    }
+  }
+
+  if (params_.enforce_connectivity) {
+    Stopwatch conn_watch;
+    enforce_connectivity(result.labels, params_.num_superpixels);
+    if (phases != nullptr) phases->add(CpaSlic::kPhaseOther, conn_watch.elapsed_ms());
+  }
+  return result;
+}
+
+}  // namespace sslic

@@ -1,0 +1,31 @@
+#include "slic/subset_schedule.h"
+
+#include <cmath>
+
+namespace sslic {
+
+SubsetSchedule::SubsetSchedule(int count, SubsetPattern pattern)
+    : count_(count) {
+  SSLIC_CHECK_MSG(count >= 1 && count <= 64, "subset count " << count);
+  if (count == 1)
+    pattern_ = Pattern::kAll;
+  else if (pattern == SubsetPattern::kRowInterleaved)
+    pattern_ = Pattern::kRows;
+  else if (count == 2)
+    pattern_ = Pattern::kCheckerboard;
+  else if (count == 4)
+    pattern_ = Pattern::kBayer2x2;
+  else
+    pattern_ = Pattern::kDiagonal;
+}
+
+SubsetSchedule SubsetSchedule::from_ratio(double ratio, SubsetPattern pattern) {
+  SSLIC_CHECK_MSG(ratio > 0.0 && ratio <= 1.0, "subsample ratio " << ratio);
+  const double inv = 1.0 / ratio;
+  const int count = static_cast<int>(std::lround(inv));
+  SSLIC_CHECK_MSG(std::fabs(inv - count) < 1e-9,
+                  "subsample ratio must be 1/n, got " << ratio);
+  return SubsetSchedule(count, pattern);
+}
+
+}  // namespace sslic

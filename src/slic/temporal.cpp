@@ -1,0 +1,43 @@
+#include "slic/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "slic/subset_schedule.h"
+
+namespace sslic {
+
+TemporalSlic::TemporalSlic(SlicParams params, DataWidth data_width,
+                           int warm_iterations)
+    : params_(params), data_width_(data_width), warm_iterations_(warm_iterations) {
+  SSLIC_CHECK(warm_iterations >= 0);
+  if (warm_iterations_ == 0) {
+    const int subsets =
+        SubsetSchedule::from_ratio(params_.subsample_ratio).count();
+    warm_iterations_ = std::max(subsets, params_.max_iterations / 2);
+  }
+}
+
+Segmentation TemporalSlic::next_frame(const RgbImage& frame) {
+  const bool can_warm = has_state() && frame.width() == state_width_ &&
+                        frame.height() == state_height_;
+
+  Segmentation result;
+  if (can_warm) {
+    SlicParams warm_params = params_;
+    warm_params.max_iterations = warm_iterations_;
+    const PpaSlic segmenter(warm_params, data_width_);
+    const LabImage lab = srgb_to_lab(frame);
+    result = segmenter.segment_lab_warm(lab, previous_centers_);
+  } else {
+    result = PpaSlic(params_, data_width_).segment(frame);
+  }
+
+  previous_centers_ = result.centers;
+  state_width_ = frame.width();
+  state_height_ = frame.height();
+  return result;
+}
+
+}  // namespace sslic

@@ -1,0 +1,50 @@
+// Temporal superpixel segmentation for video streams — the deployment
+// scenario that motivates the accelerator (paper Section 1: real-time
+// mobile vision at 30 fps).
+//
+// Consecutive video frames are nearly identical, so the cluster centers of
+// frame t are an excellent initialization for frame t+1: the k-means-style
+// iteration starts near its fixed point and needs far fewer subset
+// iterations to converge. This wrapper manages that state and falls back
+// to cold (grid) initialization on the first frame, on a resolution/K
+// change, or after reset() (e.g. at a scene cut).
+#pragma once
+
+#include <vector>
+
+#include "slic/subsampled.h"
+
+namespace sslic {
+
+/// Stateful frame-to-frame S-SLIC segmenter with warm starting.
+class TemporalSlic {
+ public:
+  /// `warm_iterations` is the (smaller) iteration budget used when warm
+  /// state is available; 0 picks half the cold budget (at least one full
+  /// round-robin of the subsets).
+  explicit TemporalSlic(SlicParams params,
+                        DataWidth data_width = DataWidth::float64(),
+                        int warm_iterations = 0);
+
+  /// Segments the next frame of the stream.
+  [[nodiscard]] Segmentation next_frame(const RgbImage& frame);
+
+  /// Drops the warm state (call at scene cuts).
+  void reset() { previous_centers_.clear(); }
+
+  /// True when the next frame will be warm-started.
+  [[nodiscard]] bool has_state() const { return !previous_centers_.empty(); }
+
+  [[nodiscard]] const SlicParams& params() const { return params_; }
+  [[nodiscard]] int warm_iterations() const { return warm_iterations_; }
+
+ private:
+  SlicParams params_;
+  DataWidth data_width_;
+  int warm_iterations_;
+  int state_width_ = 0;
+  int state_height_ = 0;
+  std::vector<ClusterCenter> previous_centers_;
+};
+
+}  // namespace sslic

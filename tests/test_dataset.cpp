@@ -1,0 +1,348 @@
+// Tests for src/dataset: noise fields and the synthetic Berkeley-like
+// corpus generator (the BSDS substitution, DESIGN.md §1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "dataset/bsds.h"
+#include "dataset/noise.h"
+#include "dataset/synthetic.h"
+
+namespace sslic {
+namespace {
+
+// -------------------------------------------------------------------- noise
+
+TEST(ValueNoise, OutputBounded) {
+  Rng rng(1);
+  ValueNoise noise(rng, 16, 10.0);
+  for (double y = 0; y < 100; y += 3.7) {
+    for (double x = 0; x < 100; x += 3.1) {
+      const double v = noise.sample(x, y);
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(ValueNoise, SmoothBetweenLatticePoints) {
+  Rng rng(2);
+  ValueNoise noise(rng, 16, 20.0);
+  // Samples 1px apart must differ far less than the full range.
+  for (double x = 0; x < 60; x += 1.0) {
+    const double d = std::fabs(noise.sample(x, 10.0) - noise.sample(x + 1.0, 10.0));
+    EXPECT_LT(d, 0.4);
+  }
+}
+
+TEST(ValueNoise, DeterministicForSeed) {
+  Rng rng1(3), rng2(3);
+  ValueNoise a(rng1, 16, 8.0), b(rng2, 16, 8.0);
+  EXPECT_DOUBLE_EQ(a.sample(12.3, 4.5), b.sample(12.3, 4.5));
+}
+
+TEST(FractalNoise, BoundedAndNonConstant) {
+  Rng rng(4);
+  FractalNoise noise(rng, 3, 32.0);
+  double lo = 1e9, hi = -1e9;
+  for (double y = 0; y < 200; y += 7) {
+    for (double x = 0; x < 200; x += 7) {
+      const double v = noise.sample(x, y);
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  EXPECT_GT(hi - lo, 0.3);  // actually varies
+}
+
+TEST(FractalNoise, InvalidParamsThrow) {
+  Rng rng(5);
+  EXPECT_THROW(FractalNoise(rng, 0, 32.0), ContractViolation);
+  EXPECT_THROW(FractalNoise(rng, 3, 1.0), ContractViolation);
+}
+
+// ---------------------------------------------------------------- synthetic
+
+SyntheticParams small_params() {
+  SyntheticParams p;
+  p.width = 96;
+  p.height = 64;
+  return p;
+}
+
+TEST(Synthetic, ImageAndTruthShapesMatch) {
+  const GroundTruthImage gt = generate_synthetic(small_params(), 1);
+  EXPECT_EQ(gt.image.width(), 96);
+  EXPECT_EQ(gt.image.height(), 64);
+  EXPECT_EQ(gt.truth.width(), 96);
+  EXPECT_EQ(gt.truth.height(), 64);
+}
+
+TEST(Synthetic, TruthLabelsCompactAndCounted) {
+  const GroundTruthImage gt = generate_synthetic(small_params(), 2);
+  std::set<std::int32_t> labels(gt.truth.pixels().begin(), gt.truth.pixels().end());
+  EXPECT_EQ(static_cast<int>(labels.size()), gt.num_regions);
+  EXPECT_EQ(*labels.begin(), 0);
+  EXPECT_EQ(*labels.rbegin(), gt.num_regions - 1);
+}
+
+TEST(Synthetic, RegionCountWithinConfiguredBounds) {
+  SyntheticParams p = small_params();
+  p.min_regions = 4;
+  p.max_regions = 9;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const GroundTruthImage gt = generate_synthetic(p, seed);
+    // Merging can only reduce the count below max; it can fall below min
+    // only if a region ends up with no pixels, which the generator permits
+    // but should be rare. Require at least 2 and at most max.
+    EXPECT_GE(gt.num_regions, 2);
+    EXPECT_LE(gt.num_regions, 9);
+  }
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  const GroundTruthImage a = generate_synthetic(small_params(), 77);
+  const GroundTruthImage b = generate_synthetic(small_params(), 77);
+  EXPECT_EQ(a.image, b.image);
+  EXPECT_EQ(a.truth, b.truth);
+  EXPECT_EQ(a.num_regions, b.num_regions);
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentImages) {
+  const GroundTruthImage a = generate_synthetic(small_params(), 1);
+  const GroundTruthImage b = generate_synthetic(small_params(), 2);
+  EXPECT_FALSE(a.image == b.image);
+}
+
+TEST(Synthetic, RegionsAreColorDistinct) {
+  // Pixels inside one region should be far closer to their region mean than
+  // region means are to each other — the piecewise-smooth property USE and
+  // boundary recall rely on.
+  const GroundTruthImage gt = generate_synthetic(small_params(), 10);
+  struct Acc {
+    double r = 0, g = 0, b = 0;
+    int n = 0;
+  };
+  std::vector<Acc> mean(static_cast<std::size_t>(gt.num_regions));
+  for (std::size_t i = 0; i < gt.image.size(); ++i) {
+    Acc& a = mean[static_cast<std::size_t>(gt.truth.pixels()[i])];
+    a.r += gt.image.pixels()[i].r;
+    a.g += gt.image.pixels()[i].g;
+    a.b += gt.image.pixels()[i].b;
+    a.n += 1;
+  }
+  double within = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < gt.image.size(); ++i) {
+    const Acc& a = mean[static_cast<std::size_t>(gt.truth.pixels()[i])];
+    if (a.n == 0) continue;
+    const double dr = gt.image.pixels()[i].r - a.r / a.n;
+    const double dg = gt.image.pixels()[i].g - a.g / a.n;
+    const double db = gt.image.pixels()[i].b - a.b / a.n;
+    within += std::sqrt(dr * dr + dg * dg + db * db);
+    ++count;
+  }
+  within /= static_cast<double>(count);
+  // Mean within-region deviation must be modest (texture+noise only).
+  EXPECT_LT(within, 40.0);
+  EXPECT_GT(within, 0.5);  // but not degenerate-flat
+}
+
+TEST(Synthetic, InvalidParamsThrow) {
+  SyntheticParams p = small_params();
+  p.width = 4;
+  EXPECT_THROW(generate_synthetic(p, 0), ContractViolation);
+  p = small_params();
+  p.min_regions = 10;
+  p.max_regions = 5;
+  EXPECT_THROW(generate_synthetic(p, 0), ContractViolation);
+}
+
+// ------------------------------------------------------------------ corpus
+
+TEST(Corpus, GeneratesRequestedCount) {
+  const SyntheticCorpus corpus(small_params(), 3, 500);
+  EXPECT_EQ(corpus.size(), 3);
+  const GroundTruthImage img0 = corpus.generate(0);
+  EXPECT_EQ(img0.image.width(), 96);
+}
+
+TEST(Corpus, IndexIsSeedOffset) {
+  const SyntheticCorpus corpus(small_params(), 3, 500);
+  const GroundTruthImage direct = generate_synthetic(small_params(), 502);
+  const GroundTruthImage via = corpus.generate(2);
+  EXPECT_EQ(direct.image, via.image);
+}
+
+TEST(Corpus, OutOfRangeThrows) {
+  const SyntheticCorpus corpus(small_params(), 2, 0);
+  EXPECT_THROW(corpus.generate(2), ContractViolation);
+  EXPECT_THROW(corpus.generate(-1), ContractViolation);
+}
+
+// ----------------------------------------------------------- multi-annotator
+
+TEST(MultiAnnotator, AnnotatorZeroMatchesSingleGenerator) {
+  const SyntheticParams p = small_params();
+  const GroundTruthImage single = generate_synthetic(p, 33);
+  const MultiAnnotatorImage multi = generate_multi_annotator(p, 33, 4);
+  EXPECT_EQ(multi.image, single.image);
+  ASSERT_EQ(multi.truths.size(), 4u);
+  EXPECT_EQ(multi.truths[0], single.truth);
+}
+
+TEST(MultiAnnotator, AnnotatorsDisagreeButCorrelate) {
+  const MultiAnnotatorImage multi =
+      generate_multi_annotator(small_params(), 34, 3);
+  // Different annotators differ somewhere...
+  EXPECT_FALSE(multi.truths[0] == multi.truths[1]);
+  // ...but agree on most of the image (they describe the same scene).
+  std::size_t agree = 0;
+  // Labels are independently compacted, so compare co-membership of
+  // horizontally adjacent pixel pairs instead of raw ids.
+  std::size_t total = 0;
+  const LabelImage& a = multi.truths[0];
+  const LabelImage& b = multi.truths[1];
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x + 1 < a.width(); ++x) {
+      agree += (a(x, y) == a(x + 1, y)) == (b(x, y) == b(x + 1, y));
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.8);
+}
+
+TEST(MultiAnnotator, GranularityMergesReduceOrKeepRegionCount) {
+  const MultiAnnotatorImage multi =
+      generate_multi_annotator(small_params(), 35, 5);
+  std::vector<int> counts;
+  for (const auto& truth : multi.truths) {
+    LabelImage copy = truth;
+    counts.push_back(compact_labels(copy));
+  }
+  for (std::size_t a = 1; a < counts.size(); ++a)
+    EXPECT_LE(counts[a], counts[0] + 1) << "annotator " << a;
+}
+
+TEST(MultiAnnotator, DeterministicAndValidated) {
+  const MultiAnnotatorImage a = generate_multi_annotator(small_params(), 36, 3);
+  const MultiAnnotatorImage b = generate_multi_annotator(small_params(), 36, 3);
+  for (std::size_t i = 0; i < a.truths.size(); ++i)
+    EXPECT_EQ(a.truths[i], b.truths[i]);
+  EXPECT_THROW(generate_multi_annotator(small_params(), 1, 0), ContractViolation);
+}
+
+// ------------------------------------------------------------ BSDS .seg IO
+
+std::string seg_temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(BsdsSeg, RoundTripsLabelMaps) {
+  LabelImage labels(24, 12);
+  for (int y = 0; y < 12; ++y)
+    for (int x = 0; x < 24; ++x) labels(x, y) = (x / 8) + 3 * (y / 6);
+  const std::string path = seg_temp_path("sslic_roundtrip.seg");
+  write_bsds_seg(path, labels);
+  const LabelImage back = read_bsds_seg(path);
+  EXPECT_EQ(back, labels);
+  std::remove(path.c_str());
+}
+
+TEST(BsdsSeg, ParsesHandWrittenFile) {
+  const std::string path = seg_temp_path("sslic_hand.seg");
+  {
+    std::ofstream out(path);
+    out << "format ascii cr\ndate today\nimage 42\nuser 1\n"
+        << "width 4\nheight 2\nsegments 2\ngray 0\ninvert 0\nflipflop 0\n"
+        << "data\n0 0 0 1\n1 0 2 3\n1 1 0 3\n";
+  }
+  const LabelImage labels = read_bsds_seg(path);
+  EXPECT_EQ(labels.width(), 4);
+  EXPECT_EQ(labels.height(), 2);
+  EXPECT_EQ(labels(0, 0), 0);
+  EXPECT_EQ(labels(2, 0), 1);
+  EXPECT_EQ(labels(0, 1), 1);
+  std::remove(path.c_str());
+}
+
+TEST(BsdsSeg, UncoveredPixelsRejected) {
+  const std::string path = seg_temp_path("sslic_uncovered.seg");
+  {
+    std::ofstream out(path);
+    out << "width 4\nheight 2\ndata\n0 0 0 3\n";  // row 1 missing
+  }
+  EXPECT_THROW(read_bsds_seg(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BsdsSeg, BadRunsRejected) {
+  const std::string path = seg_temp_path("sslic_badrun.seg");
+  {
+    std::ofstream out(path);
+    out << "width 4\nheight 1\ndata\n0 0 2 9\n";  // run past the row end
+  }
+  EXPECT_THROW(read_bsds_seg(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BsdsSeg, MissingHeaderRejected) {
+  const std::string path = seg_temp_path("sslic_nohdr.seg");
+  {
+    std::ofstream out(path);
+    out << "data\n0 0 0 1\n";
+  }
+  EXPECT_THROW(read_bsds_seg(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_bsds_seg("/nonexistent/missing.seg"), std::runtime_error);
+}
+
+TEST(BsdsSeg, AnnotatorLoaderChecksDimensions) {
+  const std::string a = seg_temp_path("sslic_ann_a.seg");
+  const std::string b = seg_temp_path("sslic_ann_b.seg");
+  LabelImage la(8, 4, 0);
+  LabelImage lb(6, 4, 0);
+  write_bsds_seg(a, la);
+  write_bsds_seg(b, lb);
+  EXPECT_THROW(read_bsds_annotators({a, b}), std::runtime_error);
+  const auto truths = read_bsds_annotators({a, a});
+  EXPECT_EQ(truths.size(), 2u);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(BsdsSeg, RoundTripsSyntheticGroundTruth) {
+  // The full loop a BSDS user would exercise: synthetic truth -> .seg file
+  // -> loader -> metrics.
+  const GroundTruthImage gt = generate_synthetic(small_params(), 60);
+  const std::string path = seg_temp_path("sslic_synth.seg");
+  write_bsds_seg(path, gt.truth);
+  const LabelImage back = read_bsds_seg(path);
+  EXPECT_EQ(back, gt.truth);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------- compact_labels
+
+TEST(CompactLabels, FirstAppearanceOrder) {
+  LabelImage labels(3, 1);
+  labels(0, 0) = 7;
+  labels(1, 0) = 3;
+  labels(2, 0) = 7;
+  EXPECT_EQ(compact_labels(labels), 2);
+  EXPECT_EQ(labels(0, 0), 0);
+  EXPECT_EQ(labels(1, 0), 1);
+  EXPECT_EQ(labels(2, 0), 0);
+}
+
+}  // namespace
+}  // namespace sslic

@@ -1,0 +1,203 @@
+// Unit and property tests for the fixed-point library (src/fixed), which
+// models the HLS ac_fixed datapath types (paper Section 5, 6.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "fixed/fixed.h"
+#include "fixed/quantizer.h"
+
+namespace sslic {
+namespace {
+
+// ------------------------------------------------------------- Fixed<W, F>
+
+TEST(Fixed, RoundTripIntegers) {
+  for (int v = -128; v <= 127; ++v) {
+    const auto f = Fixed<8, 0>::from_double(v);
+    EXPECT_DOUBLE_EQ(f.to_double(), v);
+  }
+}
+
+TEST(Fixed, FractionalResolution) {
+  using F = Fixed<16, 8>;
+  EXPECT_DOUBLE_EQ(F::resolution(), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(F::from_double(0.5).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(F::from_double(1.0 / 256.0).to_double(), 1.0 / 256.0);
+}
+
+TEST(Fixed, RoundsToNearestTiesAwayFromZero) {
+  using F = Fixed<8, 0>;
+  EXPECT_DOUBLE_EQ(F::from_double(2.5).to_double(), 3.0);
+  EXPECT_DOUBLE_EQ(F::from_double(-2.5).to_double(), -3.0);
+  EXPECT_DOUBLE_EQ(F::from_double(2.4).to_double(), 2.0);
+}
+
+TEST(Fixed, SaturatesOnConstruction) {
+  using F = Fixed<8, 0>;
+  EXPECT_DOUBLE_EQ(F::from_double(1000.0).to_double(), 127.0);
+  EXPECT_DOUBLE_EQ(F::from_double(-1000.0).to_double(), -128.0);
+}
+
+TEST(Fixed, AdditionSaturates) {
+  using F = Fixed<8, 0>;
+  const F big = F::from_double(100.0);
+  EXPECT_DOUBLE_EQ((big + big).to_double(), 127.0);
+  const F small = F::from_double(-100.0);
+  EXPECT_DOUBLE_EQ((small + small).to_double(), -128.0);
+}
+
+TEST(Fixed, SubtractionBasics) {
+  using F = Fixed<10, 2>;
+  const F a = F::from_double(3.25);
+  const F b = F::from_double(1.5);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 1.75);
+  EXPECT_DOUBLE_EQ((-b).to_double(), -1.5);
+}
+
+TEST(Fixed, MultiplicationRequantizes) {
+  using F = Fixed<16, 8>;
+  const F a = F::from_double(1.5);
+  const F b = F::from_double(2.25);
+  EXPECT_NEAR((a * b).to_double(), 3.375, F::resolution());
+}
+
+TEST(Fixed, MultiplicationSaturates) {
+  using F = Fixed<8, 0>;
+  const F a = F::from_double(100.0);
+  EXPECT_DOUBLE_EQ((a * a).to_double(), 127.0);
+}
+
+TEST(Fixed, ComparisonsFollowRealOrder) {
+  using F = Fixed<12, 4>;
+  const F a = F::from_double(1.0);
+  const F b = F::from_double(2.0);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, F::from_double(1.0));
+  EXPECT_NE(a, b);
+}
+
+TEST(Fixed, AbsSaturatesAtMin) {
+  using F = Fixed<8, 0>;
+  EXPECT_DOUBLE_EQ(F::min().abs().to_double(), 127.0);
+  EXPECT_DOUBLE_EQ(F::from_double(-5).abs().to_double(), 5.0);
+}
+
+TEST(Fixed, CompoundAssignment) {
+  using F = Fixed<16, 4>;
+  F acc = F::from_double(1.0);
+  acc += F::from_double(2.0);
+  acc *= F::from_double(3.0);
+  acc -= F::from_double(4.0);
+  EXPECT_DOUBLE_EQ(acc.to_double(), 5.0);
+}
+
+// Property: quantization error of from_double is at most half a ulp.
+TEST(Fixed, QuantizationErrorBounded) {
+  using F = Fixed<12, 6>;
+  for (double v = -30.0; v <= 30.0; v += 0.037) {
+    const double err = std::fabs(F::from_double(v).to_double() - v);
+    EXPECT_LE(err, F::resolution() / 2.0 + 1e-12) << "v=" << v;
+  }
+}
+
+// Property: (a+b)-b == a when no saturation occurs.
+TEST(Fixed, AddThenSubtractIsIdentityWithoutSaturation) {
+  using F = Fixed<16, 4>;
+  for (double a = -100.0; a <= 100.0; a += 13.375) {
+    for (double b = -100.0; b <= 100.0; b += 17.8125) {
+      const F fa = F::from_double(a);
+      const F fb = F::from_double(b);
+      EXPECT_EQ(((fa + fb) - fb).raw(), fa.raw());
+    }
+  }
+}
+
+// -------------------------------------------------------------- Quantizer
+
+TEST(Quantizer, IdentityPassesThrough) {
+  const Quantizer q = Quantizer::float64();
+  EXPECT_TRUE(q.is_identity());
+  EXPECT_DOUBLE_EQ(q.apply(3.14159), 3.14159);
+  EXPECT_EQ(q.name(), "float64");
+}
+
+TEST(Quantizer, EightBitIntegerGrid) {
+  const Quantizer q(8, 0);
+  EXPECT_DOUBLE_EQ(q.apply(3.4), 3.0);
+  EXPECT_DOUBLE_EQ(q.apply(3.6), 4.0);
+  EXPECT_DOUBLE_EQ(q.apply(300.0), 127.0);
+  EXPECT_DOUBLE_EQ(q.apply(-300.0), -128.0);
+  EXPECT_EQ(q.name(), "fx8.0");
+}
+
+TEST(Quantizer, FractionalGrid) {
+  const Quantizer q(8, 4);
+  EXPECT_DOUBLE_EQ(q.resolution(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(q.apply(0.1), 0.125);  // nearest 1/16 step to 0.1 is 2/16
+  EXPECT_DOUBLE_EQ(q.max_value(), 127.0 / 16.0);
+}
+
+TEST(Quantizer, TruncateModeRoundsTowardZero) {
+  const Quantizer q(8, 0, Rounding::kTruncate);
+  EXPECT_DOUBLE_EQ(q.apply(3.9), 3.0);
+  EXPECT_DOUBLE_EQ(q.apply(-3.9), -3.0);
+}
+
+TEST(Quantizer, InvalidConfigThrows) {
+  EXPECT_THROW(Quantizer(1, 0), ContractViolation);
+  EXPECT_THROW(Quantizer(8, 8), ContractViolation);
+  EXPECT_THROW(Quantizer(63, 0), ContractViolation);
+}
+
+// Parameterized property sweep: for every width, quantization is idempotent,
+// monotone, and its error is bounded by half the grid step.
+class QuantizerWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerWidthSweep, Idempotent) {
+  const Quantizer q(GetParam(), 0);
+  for (double v = -130.0; v <= 130.0; v += 0.7) {
+    const double once = q.apply(v);
+    EXPECT_DOUBLE_EQ(q.apply(once), once);
+  }
+}
+
+TEST_P(QuantizerWidthSweep, Monotone) {
+  const Quantizer q(GetParam(), 0);
+  double prev = q.apply(-200.0);
+  for (double v = -199.0; v <= 200.0; v += 0.51) {
+    const double cur = q.apply(v);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_P(QuantizerWidthSweep, ErrorBoundedInRange) {
+  const Quantizer q(GetParam(), 0);
+  const double half_step = 0.5;  // frac_bits = 0 -> unit grid
+  for (double v = q.min_value(); v <= q.max_value(); v += 0.37) {
+    EXPECT_LE(std::fabs(q.apply(v) - v), half_step + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantizerWidthSweep,
+                         ::testing::Values(4, 5, 6, 7, 8, 10, 12, 16));
+
+// Property: a finer quantizer never has larger error than a coarser one for
+// the same fractional split (the Section-6.1 monotonicity premise).
+TEST(Quantizer, FinerWidthNeverWorse) {
+  for (int bits = 5; bits <= 12; ++bits) {
+    const Quantizer coarse(bits - 1, 0);
+    const Quantizer fine(bits, 0);
+    for (double v = coarse.min_value(); v <= coarse.max_value(); v += 0.91) {
+      EXPECT_LE(std::fabs(fine.apply(v) - v), std::fabs(coarse.apply(v) - v) + 1e-12)
+          << "bits=" << bits << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sslic

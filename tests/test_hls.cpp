@@ -1,0 +1,229 @@
+// Tests for the synthesizable-style accelerator top (src/hls): FIFO
+// contracts, datapath unit behaviour, bit-exact equivalence with the
+// algorithmic golden model, and cycle-count agreement with the standalone
+// cycle simulator.
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "hls/accelerator_top.h"
+#include "hls/datapath_units.h"
+#include "hls/stream.h"
+#include "metrics/segmentation_metrics.h"
+
+namespace sslic::hls {
+namespace {
+
+// ------------------------------------------------------------------ Stream
+
+TEST(Stream, FifoOrderPreserved) {
+  Stream<int, 4> fifo;
+  fifo.write(1);
+  fifo.write(2);
+  fifo.write(3);
+  EXPECT_EQ(fifo.read(), 1);
+  fifo.write(4);
+  EXPECT_EQ(fifo.read(), 2);
+  EXPECT_EQ(fifo.read(), 3);
+  EXPECT_EQ(fifo.read(), 4);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(Stream, WrapsAroundManyTimes) {
+  Stream<int, 3> fifo;
+  for (int i = 0; i < 100; ++i) {
+    fifo.write(i);
+    EXPECT_EQ(fifo.read(), i);
+  }
+}
+
+TEST(Stream, OverflowIsContractViolation) {
+  Stream<int, 2> fifo;
+  fifo.write(1);
+  fifo.write(2);
+  EXPECT_TRUE(fifo.full());
+  EXPECT_THROW(fifo.write(3), ContractViolation);
+}
+
+TEST(Stream, UnderflowIsContractViolation) {
+  Stream<int, 2> fifo;
+  EXPECT_THROW(fifo.read(), ContractViolation);
+  EXPECT_THROW((void)fifo.front(), ContractViolation);
+}
+
+TEST(Stream, FrontDoesNotConsume) {
+  Stream<int, 2> fifo;
+  fifo.write(7);
+  EXPECT_EQ(fifo.front(), 7);
+  EXPECT_EQ(fifo.size(), 1u);
+  EXPECT_EQ(fifo.read(), 7);
+}
+
+TEST(Stream, ClearEmpties) {
+  Stream<int, 2> fifo;
+  fifo.write(1);
+  fifo.clear();
+  EXPECT_TRUE(fifo.empty());
+}
+
+// ---------------------------------------------------------- datapath units
+
+TEST(DatapathUnits, MinimumPicksLowestSlotOnTies) {
+  std::array<std::int32_t, 9> d{5, 3, 3, 9, 9, 9, 9, 9, 9};
+  EXPECT_EQ(MinimumFunction9::select(d), 1);
+  d.fill(7);
+  EXPECT_EQ(MinimumFunction9::select(d), 0);
+}
+
+TEST(DatapathUnits, DistanceCalculatorMatchesGoldenKernel) {
+  ColorDistanceCalculator unit;
+  unit.weight_q8 = 100;
+  const PixelRegs pixel{120, 90, 200, 15, 22};
+  CenterRegs center;
+  center.L = 100;
+  center.a = 95;
+  center.b = 180;
+  center.x = 10;
+  center.y = 20;
+  const Lab8 lab{120, 90, 200};
+  const HwCenter hw_center{100, 95, 180, 10, 20};
+  EXPECT_EQ(unit.compute(pixel, center),
+            HwSlic::integer_distance(lab, 15, 22, hw_center, 100));
+}
+
+TEST(DatapathUnits, SigmaAccumulatesSixFields) {
+  SigmaRegs sigma;
+  sigma.accumulate({10, 20, 30, 4, 5});
+  sigma.accumulate({1, 2, 3, 6, 7});
+  EXPECT_EQ(sigma.L, 11);
+  EXPECT_EQ(sigma.a, 22);
+  EXPECT_EQ(sigma.b, 33);
+  EXPECT_EQ(sigma.x, 10);
+  EXPECT_EQ(sigma.y, 12);
+  EXPECT_EQ(sigma.count, 2);
+}
+
+TEST(DatapathUnits, DividerRoundsToNearest) {
+  EXPECT_EQ(CenterUpdateDivider::divide(10, 4), 3);   // 2.5 -> 3 (half up)
+  EXPECT_EQ(CenterUpdateDivider::divide(9, 4), 2);    // 2.25 -> 2
+  EXPECT_EQ(CenterUpdateDivider::divide(100, 10), 10);
+}
+
+// ------------------------------------------------------------- equivalence
+
+GroundTruthImage hls_case(std::uint64_t seed) {
+  SyntheticParams p;
+  p.width = 160;
+  p.height = 120;
+  p.min_regions = 5;
+  p.max_regions = 10;
+  return generate_synthetic(p, seed);
+}
+
+HwConfig hls_algorithm() {
+  HwConfig config;
+  config.num_superpixels = 60;
+  config.iterations = 8;
+  config.subsample_ratio = 0.5;
+  return config;
+}
+
+TEST(AcceleratorTop, BitExactWithGoldenModel) {
+  const GroundTruthImage gt = hls_case(50);
+  const HwConfig algo = hls_algorithm();
+  const hw::AcceleratorDesign design;  // 4 kB pads
+
+  const Segmentation golden = HwSlic(algo).segment(gt.image);
+  const HlsRunResult hls = AcceleratorTop(algo, design).run(gt.image);
+  EXPECT_EQ(hls.segmentation.labels, golden.labels);
+  ASSERT_EQ(hls.segmentation.centers.size(), golden.centers.size());
+  for (std::size_t i = 0; i < golden.centers.size(); ++i)
+    EXPECT_EQ(hls.segmentation.centers[i], golden.centers[i]) << "center " << i;
+}
+
+TEST(AcceleratorTop, BitExactAcrossConfigs) {
+  const GroundTruthImage gt = hls_case(51);
+  for (const double ratio : {1.0, 0.5, 0.25}) {
+    for (const int reg_bits : {0, 8}) {
+      HwConfig algo = hls_algorithm();
+      algo.subsample_ratio = ratio;
+      algo.distance_register_bits = reg_bits;
+      const Segmentation golden = HwSlic(algo).segment(gt.image);
+      const HlsRunResult hls =
+          AcceleratorTop(algo, hw::AcceleratorDesign{}).run(gt.image);
+      EXPECT_EQ(hls.segmentation.labels, golden.labels)
+          << "ratio " << ratio << " reg_bits " << reg_bits;
+    }
+  }
+}
+
+TEST(AcceleratorTop, BufferSizeDoesNotChangeResults) {
+  // The pads are pure rate-matching storage: grouping must not affect the
+  // computation (only the cycle count).
+  const GroundTruthImage gt = hls_case(52);
+  const HwConfig algo = hls_algorithm();
+  hw::AcceleratorDesign small;
+  small.channel_buffer_bytes = 512;
+  hw::AcceleratorDesign big;
+  big.channel_buffer_bytes = 16384;
+
+  const HlsRunResult a = AcceleratorTop(algo, small).run(gt.image);
+  const HlsRunResult b = AcceleratorTop(algo, big).run(gt.image);
+  EXPECT_EQ(a.segmentation.labels, b.segmentation.labels);
+  EXPECT_GT(a.cycles.dram_stall_cycles, b.cycles.dram_stall_cycles);
+}
+
+TEST(AcceleratorTop, TileBiggerThanPadThrows) {
+  const GroundTruthImage gt = hls_case(53);
+  HwConfig algo = hls_algorithm();
+  algo.num_superpixels = 4;  // huge tiles
+  hw::AcceleratorDesign tiny;
+  tiny.channel_buffer_bytes = 256;
+  EXPECT_THROW((void)AcceleratorTop(algo, tiny).run(gt.image),
+               ContractViolation);
+}
+
+// ------------------------------------------------------- cycle agreement
+
+TEST(AcceleratorTop, CycleCountTracksCycleSimulator) {
+  const GroundTruthImage gt = hls_case(54);
+  const HwConfig algo = hls_algorithm();
+  hw::AcceleratorDesign design;
+  design.width = gt.image.width();
+  design.height = gt.image.height();
+  design.num_superpixels = algo.num_superpixels;
+  design.subsample_ratio = algo.subsample_ratio;
+  design.full_sweeps = algo.iterations / 2;  // 8 subset iters = 4 sweeps
+  design.channel_buffer_bytes = 4096;
+
+  const HlsRunResult hls = AcceleratorTop(algo, design).run(gt.image);
+  const hw::CycleReport sim = hw::CycleSimulator(design).run();
+  // The simulator rounds subset sizes per tile; the HLS top counts the
+  // actual checkerboard population — a few percent at this image size.
+  EXPECT_NEAR(static_cast<double>(hls.cycles.total_cycles),
+              static_cast<double>(sim.total_cycles),
+              static_cast<double>(sim.total_cycles) * 0.05);
+  EXPECT_EQ(hls.cycles.iterations, sim.iterations);
+  EXPECT_EQ(hls.cycles.tiles_processed, sim.tiles_processed);
+}
+
+TEST(AcceleratorTop, BreakdownSumsToTotal) {
+  const GroundTruthImage gt = hls_case(55);
+  const HlsRunResult hls =
+      AcceleratorTop(hls_algorithm(), hw::AcceleratorDesign{}).run(gt.image);
+  const hw::CycleReport& c = hls.cycles;
+  EXPECT_EQ(c.total_cycles, c.conv_cycles + c.cluster_pixel_cycles +
+                                c.tile_overhead_cycles + c.center_update_cycles +
+                                c.dram_stall_cycles);
+  EXPECT_GT(c.dram_bytes, 0u);
+}
+
+TEST(AcceleratorTop, QualityMatchesExpectation) {
+  const GroundTruthImage gt = hls_case(56);
+  const HlsRunResult hls =
+      AcceleratorTop(hls_algorithm(), hw::AcceleratorDesign{}).run(gt.image);
+  EXPECT_GT(achievable_segmentation_accuracy(hls.segmentation.labels, gt.truth),
+            0.9);
+}
+
+}  // namespace
+}  // namespace sslic::hls

@@ -1,0 +1,224 @@
+// Tests for the accelerator golden model (slic/hw_datapath): integer
+// distance datapath, distance-register quantization, FSM schedule, and
+// agreement with the floating-point PPA reference.
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "metrics/segmentation_metrics.h"
+#include "slic/connectivity.h"
+#include "slic/hw_datapath.h"
+#include "slic/subsampled.h"
+
+namespace sslic {
+namespace {
+
+GroundTruthImage make_case() {
+  SyntheticParams p;
+  p.width = 128;
+  p.height = 96;
+  p.min_regions = 4;
+  p.max_regions = 8;
+  return generate_synthetic(p, 21);
+}
+
+HwConfig quick_config() {
+  HwConfig config;
+  config.num_superpixels = 48;
+  config.iterations = 8;
+  config.subsample_ratio = 0.5;
+  return config;
+}
+
+// --------------------------------------------------------- integer distance
+
+TEST(IntegerDistance, ZeroForIdenticalOperands) {
+  const Lab8 pixel{100, 120, 140};
+  const HwCenter center{100, 120, 140, 10, 20};
+  EXPECT_EQ(HwSlic::integer_distance(pixel, 10, 20, center, 64), 0);
+}
+
+TEST(IntegerDistance, ColorTermIsSumOfSquares) {
+  const Lab8 pixel{110, 120, 140};
+  const HwCenter center{100, 125, 141, 10, 20};
+  // dl=10, da=-5, db=-1 -> 100+25+1 = 126; no spatial offset.
+  EXPECT_EQ(HwSlic::integer_distance(pixel, 10, 20, center, 64), 126);
+}
+
+TEST(IntegerDistance, SpatialTermScaledByWeight) {
+  const Lab8 pixel{0, 0, 0};
+  const HwCenter center{0, 0, 0, 0, 0};
+  // ds2 = 3^2+4^2 = 25; weight 256 (Q8 of 1.0) -> term = 25.
+  EXPECT_EQ(HwSlic::integer_distance(pixel, 3, 4, center, 256), 25);
+  // weight 128 (Q8 of 0.5) -> floor(25*128/256) = 12.
+  EXPECT_EQ(HwSlic::integer_distance(pixel, 3, 4, center, 128), 12);
+}
+
+TEST(IntegerDistance, MonotoneInColorGap) {
+  const HwCenter center{100, 128, 128, 0, 0};
+  int prev = -1;
+  for (int l = 100; l <= 200; l += 10) {
+    const Lab8 pixel{static_cast<std::uint8_t>(l), 128, 128};
+    const int d = HwSlic::integer_distance(pixel, 0, 0, center, 64);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+// ----------------------------------------------------- distance quantization
+
+TEST(QuantizeDistance, ZeroBitsIsIdentity) {
+  EXPECT_EQ(HwSlic::quantize_distance(123456, 0, 10), 123456);
+}
+
+TEST(QuantizeDistance, KeepsTopBitsAndSaturates) {
+  EXPECT_EQ(HwSlic::quantize_distance(0x3FF, 8, 2), 0xFF);       // exact top bits
+  EXPECT_EQ(HwSlic::quantize_distance(0x40000, 8, 2), 0xFF);     // saturates
+  EXPECT_EQ(HwSlic::quantize_distance(16, 8, 2), 4);
+}
+
+TEST(QuantizeDistance, PreservesWeakOrder) {
+  // Quantization may merge values but must never invert an ordering.
+  for (int a = 0; a < 2000; a += 37) {
+    for (int b = a; b < 2000; b += 91) {
+      EXPECT_LE(HwSlic::quantize_distance(a, 8, 3),
+                HwSlic::quantize_distance(b, 8, 3));
+    }
+  }
+}
+
+// ------------------------------------------------------------ golden model
+
+TEST(HwSlic, ProducesValidSegmentation) {
+  const GroundTruthImage gt = make_case();
+  const Segmentation seg = HwSlic(quick_config()).segment(gt.image);
+  EXPECT_EQ(seg.labels.width(), 128);
+  EXPECT_EQ(seg.labels.height(), 96);
+  for (const auto label : seg.labels.pixels()) EXPECT_GE(label, 0);
+  EXPECT_TRUE(is_fully_connected(seg.labels));
+}
+
+TEST(HwSlic, RunsExactlyConfiguredIterations) {
+  const GroundTruthImage gt = make_case();
+  HwConfig config = quick_config();
+  config.iterations = 5;
+  const Segmentation seg = HwSlic(config).segment(gt.image);
+  EXPECT_EQ(seg.iterations_run, 5);  // fixed FSM schedule: no early exit
+  EXPECT_EQ(seg.trace.size(), 5u);
+}
+
+TEST(HwSlic, StatsAccounting) {
+  const GroundTruthImage gt = make_case();
+  HwConfig config = quick_config();
+  config.iterations = 4;
+  config.subsample_ratio = 0.5;
+  HwRunStats stats;
+  (void)HwSlic(config).segment(gt.image, &stats);
+
+  const std::uint64_t n = 128 * 96;
+  EXPECT_EQ(stats.pixels_converted, n);
+  EXPECT_EQ(stats.iterations, 4u);
+  // Half the pixels visited per iteration (checkerboard subsets).
+  EXPECT_NEAR(static_cast<double>(stats.pixels_visited),
+              static_cast<double>(4 * n / 2), static_cast<double>(n) * 0.02);
+  // Index map streams in and out fully every iteration.
+  EXPECT_EQ(stats.dram_index_read, 4 * n);
+  EXPECT_EQ(stats.dram_index_write, 4 * n);
+  EXPECT_GT(stats.dram_center_read, 0u);
+  EXPECT_GT(stats.center_updates, 0u);
+}
+
+TEST(HwSlic, MatchesFloatPpaQuality) {
+  // The integer datapath must track the float PPA closely. Tolerances are
+  // looser than Section 6.1's data-width deltas because the golden model
+  // also includes the LUT color-conversion unit, whose 8-segment PWL
+  // introduces a/b errors of a few LSB — enough to blur the synthetic
+  // corpus's weakest (sub-LSB contrast) region boundaries. The pure
+  // storage-width effect is tested separately (PpaSlic.EightBitMatches-
+  // FloatClosely) and the conversion-accuracy trade-off is quantified in
+  // bench/sec61_bitwidth.
+  const GroundTruthImage gt = make_case();
+
+  HwConfig config = quick_config();
+  config.iterations = 12;
+  const Segmentation hw = HwSlic(config).segment(gt.image);
+
+  SlicParams p;
+  p.num_superpixels = config.num_superpixels;
+  p.compactness = config.compactness;
+  p.max_iterations = config.iterations;
+  p.subsample_ratio = config.subsample_ratio;
+  p.perturb_centers = false;  // the accelerator uses static init
+  const Segmentation sw = PpaSlic(p).segment(gt.image);
+
+  const double asa_hw = achievable_segmentation_accuracy(hw.labels, gt.truth);
+  const double asa_sw = achievable_segmentation_accuracy(sw.labels, gt.truth);
+  EXPECT_GT(asa_hw, 0.94);
+  EXPECT_NEAR(asa_hw, asa_sw, 0.05);
+
+  const double use_hw = undersegmentation_error_min(hw.labels, gt.truth);
+  const double use_sw = undersegmentation_error_min(sw.labels, gt.truth);
+  EXPECT_LT(use_hw, use_sw + 0.08);
+}
+
+TEST(HwSlic, EightBitDistanceRegisterStillAccurate) {
+  // "Each unit ... returns the 8-bit distance": keeping only the top 8 bits
+  // of the combined metric must not change quality materially (the paper's
+  // relative-comparison robustness argument).
+  const GroundTruthImage gt = make_case();
+
+  HwConfig exact = quick_config();
+  exact.iterations = 12;
+  HwConfig reg8 = exact;
+  reg8.distance_register_bits = 8;
+
+  const Segmentation a = HwSlic(exact).segment(gt.image);
+  const Segmentation b = HwSlic(reg8).segment(gt.image);
+
+  const double asa_a = achievable_segmentation_accuracy(a.labels, gt.truth);
+  const double asa_b = achievable_segmentation_accuracy(b.labels, gt.truth);
+  EXPECT_NEAR(asa_b, asa_a, 0.05);
+}
+
+TEST(HwSlic, Deterministic) {
+  const GroundTruthImage gt = make_case();
+  const Segmentation a = HwSlic(quick_config()).segment(gt.image);
+  const Segmentation b = HwSlic(quick_config()).segment(gt.image);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(HwSlic, SubsampleRatioReducesImageTraffic) {
+  const GroundTruthImage gt = make_case();
+  HwConfig full = quick_config();
+  full.subsample_ratio = 1.0;
+  HwConfig half = quick_config();
+  half.subsample_ratio = 0.5;
+  HwRunStats stats_full, stats_half;
+  (void)HwSlic(full).segment(gt.image, &stats_full);
+  (void)HwSlic(half).segment(gt.image, &stats_half);
+  // Same iteration count: image-channel traffic should not grow; the
+  // bandwidth reduction claim of the abstract is quantified in the bench.
+  EXPECT_LE(stats_half.dram_total(), stats_full.dram_total());
+}
+
+TEST(HwSlic, CentersStayInsideImage) {
+  const GroundTruthImage gt = make_case();
+  const Segmentation seg = HwSlic(quick_config()).segment(gt.image);
+  for (const auto& c : seg.centers) {
+    EXPECT_GE(c.x, 0.0);
+    EXPECT_LT(c.x, 128.0);
+    EXPECT_GE(c.y, 0.0);
+    EXPECT_LT(c.y, 96.0);
+  }
+}
+
+TEST(HwSlic, InvalidConfigThrows) {
+  HwConfig config = quick_config();
+  config.iterations = 0;
+  EXPECT_THROW(HwSlic{config}, ContractViolation);
+  config = quick_config();
+  config.distance_register_bits = 2;
+  EXPECT_THROW(HwSlic{config}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace sslic

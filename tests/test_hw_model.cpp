@@ -1,0 +1,518 @@
+// Tests for src/hw: the calibrated performance/energy/area model. The
+// anchor tests assert the model reproduces the paper's published cells
+// (Table 3, Table 4, Fig. 6, Table 5 ratios) within stated tolerances —
+// these are the reproduction's acceptance tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/check.h"
+#include "hw/accelerator_model.h"
+#include "hw/cluster_unit.h"
+#include "hw/cycle_sim.h"
+#include "hw/dram_model.h"
+#include "hw/dse.h"
+#include "hw/energy_model.h"
+#include "hw/gpu_reference.h"
+
+namespace sslic::hw {
+namespace {
+
+constexpr double kHdPixels = 1920.0 * 1080.0;
+constexpr double kClock = 1.6e9;
+
+void expect_within(double actual, double expected, double rel_tol,
+                   const char* what) {
+  EXPECT_NEAR(actual, expected, std::fabs(expected) * rel_tol) << what;
+}
+
+// ------------------------------------------------------------ cluster unit
+
+struct Table3Row {
+  ClusterUnitConfig config;
+  double area_mm2;
+  double power_mw;
+  int latency;
+  int ii;
+  double time_ms;
+  double energy_uj;
+};
+
+const Table3Row kTable3[] = {
+    {ClusterUnitConfig::way_111(), 0.0020, 3.3, 27, 9, 11.8, 38.9},
+    {ClusterUnitConfig::way_911(), 0.0149, 3.6, 19, 9, 11.8, 42.5},
+    {ClusterUnitConfig::way_191(), 0.0023, 3.2, 20, 9, 11.8, 37.5},
+    {ClusterUnitConfig::way_116(), 0.0025, 3.25, 22, 9, 11.8, 38.3},
+    {ClusterUnitConfig::way_996(), 0.0156, 30.9, 7, 1, 1.3, 40.6},
+};
+
+class Table3Anchor : public ::testing::TestWithParam<Table3Row> {};
+
+TEST_P(Table3Anchor, LatencyAndThroughputExact) {
+  const Table3Row& row = GetParam();
+  const ClusterUnit unit(row.config);
+  EXPECT_EQ(unit.latency_cycles(), row.latency) << row.config.name();
+  EXPECT_EQ(unit.initiation_interval(), row.ii) << row.config.name();
+}
+
+TEST_P(Table3Anchor, AreaWithin5Percent) {
+  const Table3Row& row = GetParam();
+  const ClusterUnit unit(row.config);
+  expect_within(unit.area_mm2(), row.area_mm2, 0.05, row.config.name().c_str());
+}
+
+TEST_P(Table3Anchor, IterationTimeWithin2Percent) {
+  const Table3Row& row = GetParam();
+  const ClusterUnit unit(row.config);
+  const double t =
+      unit.iteration_compute_seconds(static_cast<std::uint64_t>(kHdPixels),
+                                     4982, kClock) * 1e3;
+  expect_within(t, row.time_ms, 0.02, row.config.name().c_str());
+}
+
+TEST_P(Table3Anchor, EnergyWithin5Percent) {
+  const Table3Row& row = GetParam();
+  const ClusterUnit unit(row.config);
+  const double e = unit.iteration_energy_j(static_cast<std::uint64_t>(kHdPixels));
+  expect_within(e * 1e6, row.energy_uj, 0.05, row.config.name().c_str());
+}
+
+TEST_P(Table3Anchor, PowerWithin6Percent) {
+  const Table3Row& row = GetParam();
+  const ClusterUnit unit(row.config);
+  expect_within(unit.active_power_w(kClock) * 1e3, row.power_mw, 0.06,
+                row.config.name().c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, Table3Anchor, ::testing::ValuesIn(kTable3),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param.config.name();
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return "config_" + name;
+                         });
+
+TEST(ClusterUnit, FullyParallelDominates) {
+  // The 9-9-6 design: 9x throughput at ~7.8x area (Section 6.2).
+  const ClusterUnit slow(ClusterUnitConfig::way_111());
+  const ClusterUnit fast(ClusterUnitConfig::way_996());
+  EXPECT_EQ(slow.initiation_interval() / fast.initiation_interval(), 9);
+  const double area_ratio = fast.area_mm2() / slow.area_mm2();
+  EXPECT_GT(area_ratio, 7.0);
+  EXPECT_LT(area_ratio, 8.5);
+  // Energy per iteration grows only marginally (paper: 38.9 -> 40.6 uJ).
+  const double energy_ratio =
+      fast.iteration_energy_j(1000000) / slow.iteration_energy_j(1000000);
+  EXPECT_LT(energy_ratio, 1.10);
+}
+
+TEST(ClusterUnit, IntermediateWaysAreValid) {
+  // Generalized configs beyond the paper's five (DSE extension).
+  const ClusterUnit unit({3, 3, 2});
+  EXPECT_EQ(unit.initiation_interval(), 3);
+  EXPECT_GT(unit.area_mm2(), ClusterUnit(ClusterUnitConfig::way_111()).area_mm2());
+}
+
+// Property sweep over the full d-m-a configuration grid.
+class ClusterGridSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ClusterGridSweep, StructuralInvariants) {
+  const auto [d, m, a] = GetParam();
+  const ClusterUnit unit({d, m, a});
+  const int dist_iters = (9 + d - 1) / d;
+  const int min_iters = (9 + m - 1) / m;
+  const int add_iters = (6 + a - 1) / a;
+  // II is the slowest function's iteration count.
+  EXPECT_EQ(unit.initiation_interval(),
+            std::max({dist_iters, min_iters, add_iters}));
+  // Latency bounded by the fully-parallel and fully-iterative extremes.
+  EXPECT_GE(unit.latency_cycles(), 7);
+  EXPECT_LE(unit.latency_cycles(), 27);
+  // Energy per pixel stays within a plausible band around the Table-3
+  // calibration (the arithmetic work is configuration-independent).
+  EXPECT_GT(unit.energy_per_pixel_pj(), 15.0);
+  EXPECT_LT(unit.energy_per_pixel_pj(), 25.0);
+  // Area grows monotonically with each way count.
+  if (d > 1) {
+    EXPECT_GT(unit.area_mm2(), ClusterUnit({d - 1, m, a}).area_mm2());
+  }
+  if (a > 1) {
+    EXPECT_GT(unit.area_mm2(), ClusterUnit({d, m, a - 1}).area_mm2());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWays, ClusterGridSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 9),
+                       ::testing::Values(1, 3, 9),
+                       ::testing::Values(1, 2, 3, 6)));
+
+TEST(ClusterUnit, InvalidWaysThrow) {
+  EXPECT_THROW(ClusterUnit({0, 1, 1}), ContractViolation);
+  EXPECT_THROW(ClusterUnit({1, 10, 1}), ContractViolation);
+  EXPECT_THROW(ClusterUnit({1, 1, 7}), ContractViolation);
+}
+
+// -------------------------------------------------------------- DRAM model
+
+TEST(DramModel, MoreBytesTakeLonger) {
+  const DramModel dram;
+  EXPECT_GT(dram.transfer_cycles(2e6, 4096), dram.transfer_cycles(1e6, 4096));
+}
+
+TEST(DramModel, LargerChunksAmortizeLatency) {
+  const DramModel dram;
+  double prev = dram.transfer_cycles(1e7, 512);
+  for (const double chunk : {1024.0, 2048.0, 4096.0, 16384.0}) {
+    const double cur = dram.transfer_cycles(1e7, chunk);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(DramModel, BandwidthFloorHolds) {
+  // Even with infinite chunks, the burst time remains.
+  const DramModel dram;
+  const double bytes = 1e8;
+  EXPECT_GE(dram.transfer_cycles(bytes, 1e9), bytes / dram.bytes_per_cycle);
+}
+
+TEST(DramModel, ZeroBytesIsFree) {
+  EXPECT_DOUBLE_EQ(DramModel{}.transfer_cycles(0.0, 4096), 0.0);
+}
+
+// ------------------------------------------------------- accelerator model
+
+TEST(AcceleratorModel, Table4HdAnchors) {
+  const AcceleratorDesign design;  // defaults = the paper's HD design point
+  const FrameReport r = AcceleratorModel(design).evaluate();
+
+  expect_within(r.total_s * 1e3, 32.8, 0.03, "latency");        // 32.8 ms
+  EXPECT_TRUE(r.real_time());                                    // 30.5 fps
+  expect_within(r.energy_per_frame_j * 1e3, 1.6, 0.05, "energy");  // 1.6 mJ
+  expect_within(r.average_power_w * 1e3, 49.0, 0.05, "power");     // 49 mW
+  expect_within(r.area_mm2, 0.066, 0.03, "area");                  // 0.066 mm2
+  expect_within(r.fps_per_mm2, 461.0, 0.05, "fps/mm2");            // 461
+}
+
+TEST(AcceleratorModel, HdLatencyDecomposition) {
+  // Section 7: color conversion 1.4 ms; cluster update 31.4 ms of which
+  // memory 11.1 ms and computation 20.3 ms.
+  const FrameReport r = AcceleratorModel(AcceleratorDesign{}).evaluate();
+  expect_within(r.color_conversion_s * 1e3, 1.4, 0.10, "conv");
+  expect_within(r.cluster_memory_s * 1e3, 11.1, 0.05, "memory");
+  expect_within((r.cluster_compute_s + r.center_update_s) * 1e3, 20.3, 0.05,
+                "compute");
+  // "memory access takes 35% of total execution time" (Section 6.3).
+  EXPECT_GT(r.memory_time_fraction, 0.30);
+  EXPECT_LT(r.memory_time_fraction, 0.38);
+}
+
+TEST(AcceleratorModel, Fig6BufferSweepShape) {
+  // Fig. 6: 4 kB is the smallest per-channel buffer achieving 30 fps;
+  // larger buffers improve only marginally.
+  const auto eval = [](double bytes) {
+    AcceleratorDesign d;
+    d.channel_buffer_bytes = bytes;
+    return AcceleratorModel(d).evaluate();
+  };
+  const FrameReport k1 = eval(1024), k2 = eval(2048), k4 = eval(4096),
+                    k8 = eval(8192), k128 = eval(131072);
+  EXPECT_FALSE(k1.real_time());
+  EXPECT_FALSE(k2.real_time());
+  EXPECT_TRUE(k4.real_time());
+  EXPECT_TRUE(k8.real_time());
+  // Monotone improvement with diminishing returns.
+  EXPECT_GT(k1.total_s, k2.total_s);
+  EXPECT_GT(k2.total_s, k4.total_s);
+  EXPECT_GT(k4.total_s, k8.total_s);
+  EXPECT_GT(k4.total_s - k8.total_s, k8.total_s - k128.total_s);
+  // The whole sweep spans only a few ms (Fig. 6's 31.5-34.5 axis).
+  EXPECT_LT(k1.total_s - k128.total_s, 4e-3);
+}
+
+TEST(AcceleratorModel, Table4LowerResolutions) {
+  // 1280x768 and 640x480 at 1 kB buffers: smaller area, higher fps
+  // (Table 4's scaling story; absolute latencies deviate, EXPERIMENTS.md).
+  AcceleratorDesign hd;  // 4 kB
+  AcceleratorDesign p720;
+  p720.width = 1280;
+  p720.height = 768;
+  p720.channel_buffer_bytes = 1024;
+  AcceleratorDesign vga;
+  vga.width = 640;
+  vga.height = 480;
+  vga.channel_buffer_bytes = 1024;
+
+  const FrameReport r_hd = AcceleratorModel(hd).evaluate();
+  const FrameReport r_720 = AcceleratorModel(p720).evaluate();
+  const FrameReport r_vga = AcceleratorModel(vga).evaluate();
+
+  expect_within(r_720.area_mm2, 0.053, 0.03, "720p area");
+  expect_within(r_vga.area_mm2, 0.053, 0.03, "VGA area");
+  EXPECT_GT(r_720.fps, r_hd.fps);
+  EXPECT_GT(r_vga.fps, r_720.fps);
+  EXPECT_LT(r_720.energy_per_frame_j, r_hd.energy_per_frame_j);
+  EXPECT_LT(r_vga.energy_per_frame_j, r_720.energy_per_frame_j);
+  EXPECT_GT(r_vga.fps_per_mm2, r_hd.fps_per_mm2);
+}
+
+TEST(AcceleratorModel, OnChipStorageTiny) {
+  // Table 5: ~20 kB on-chip storage versus megabytes in the GPUs.
+  const FrameReport r = AcceleratorModel(AcceleratorDesign{}).evaluate();
+  EXPECT_LT(r.onchip_storage_bytes, 24.0 * 1024.0);
+  EXPECT_GT(r.onchip_storage_bytes, 12.0 * 1024.0);
+}
+
+TEST(AcceleratorModel, MultiCoreScalesCompute) {
+  AcceleratorDesign one;
+  AcceleratorDesign two = one;
+  two.num_cores = 2;
+  const FrameReport r1 = AcceleratorModel(one).evaluate();
+  const FrameReport r2 = AcceleratorModel(two).evaluate();
+  EXPECT_LT(r2.cluster_compute_s, r1.cluster_compute_s);
+  EXPECT_GT(r2.area_mm2, r1.area_mm2);
+  // Memory time is unchanged: the second core saturates on bandwidth.
+  EXPECT_DOUBLE_EQ(r2.cluster_memory_s, r1.cluster_memory_s);
+}
+
+TEST(AcceleratorModel, DramDeviceEnergyDominatesCompute) {
+  // The Section-4.2 architectural argument: off-chip DRAM device energy
+  // dwarfs on-chip compute energy.
+  const FrameReport r = AcceleratorModel(AcceleratorDesign{}).evaluate();
+  EXPECT_GT(r.dram_device_energy_j, r.cluster_energy_j);
+}
+
+TEST(AcceleratorModel, DvfsLowersEnergyAtSameClock) {
+  AcceleratorDesign nominal;
+  AcceleratorDesign scaled = nominal;
+  scaled.voltage_v = 0.55;
+  const FrameReport rn = AcceleratorModel(nominal).evaluate();
+  const FrameReport rs = AcceleratorModel(scaled).evaluate();
+  EXPECT_DOUBLE_EQ(rs.total_s, rn.total_s);  // timing model is voltage-free
+  EXPECT_LT(rs.energy_per_frame_j, rn.energy_per_frame_j);
+  // Dynamic components scale ~(0.55/0.72)^2 = 0.583.
+  EXPECT_NEAR(rs.cluster_energy_j / rn.cluster_energy_j, 0.583, 0.01);
+}
+
+TEST(AcceleratorModel, DvfsPlusClockScalingStaysRealTimeAtVga) {
+  // "The accelerator can scale gracefully down to lower resolution streams
+  // by reducing the buffer sizes and ultimately reducing the clock rate"
+  // (Section 6.3): VGA at less than half the clock and 0.55 V still makes
+  // 30 fps, at a fraction of the energy.
+  AcceleratorDesign vga;
+  vga.width = 640;
+  vga.height = 480;
+  vga.channel_buffer_bytes = 1024;
+  const FrameReport full = AcceleratorModel(vga).evaluate();
+
+  AcceleratorDesign slow = vga;
+  slow.clock_hz = 0.64e9;
+  slow.voltage_v = 0.55;
+  const FrameReport r = AcceleratorModel(slow).evaluate();
+  EXPECT_TRUE(r.real_time());
+  EXPECT_LT(r.energy_per_frame_j, full.energy_per_frame_j);
+}
+
+TEST(AcceleratorModel, InvalidVoltageThrows) {
+  AcceleratorDesign d;
+  d.voltage_v = 1.2;
+  EXPECT_THROW(AcceleratorModel{d}, ContractViolation);
+  d.voltage_v = 0.2;
+  EXPECT_THROW(AcceleratorModel{d}, ContractViolation);
+}
+
+TEST(AcceleratorModel, InvalidDesignThrows) {
+  AcceleratorDesign d;
+  d.channel_buffer_bytes = 16;
+  EXPECT_THROW(AcceleratorModel{d}, ContractViolation);
+  d = AcceleratorDesign{};
+  d.subsample_ratio = 0.0;
+  EXPECT_THROW(AcceleratorModel{d}, ContractViolation);
+}
+
+// ---------------------------------------------------------------- Table 5
+
+TEST(GpuReference, PublishedCells) {
+  const GpuReference k20 = tesla_k20();
+  EXPECT_DOUBLE_EQ(k20.average_power_w, 86.0);
+  EXPECT_DOUBLE_EQ(k20.latency_ms, 22.3);
+  EXPECT_EQ(k20.core_count, 2496);
+  const GpuReference tk1 = tegra_k1();
+  EXPECT_DOUBLE_EQ(tk1.average_power_w, 0.332);
+  EXPECT_DOUBLE_EQ(tk1.latency_ms, 2713.0);
+}
+
+TEST(GpuReference, NormalizationMatchesPaper) {
+  // Paper Table 5: K20 normalized 39 W, TK1 normalized 150 mW.
+  expect_within(normalized_power_w(tesla_k20()), 39.0, 0.02, "K20 power");
+  expect_within(normalized_power_w(tegra_k1()) * 1e3, 150.0, 0.02, "TK1 power");
+  // Energy/frame: 867 mJ and 407 mJ.
+  expect_within(normalized_energy_per_frame_j(tesla_k20()) * 1e3, 867.0, 0.02,
+                "K20 energy");
+  expect_within(normalized_energy_per_frame_j(tegra_k1()) * 1e3, 407.0, 0.02,
+                "TK1 energy");
+}
+
+TEST(GpuReference, EfficiencyRatiosMatchAbstract) {
+  // ">500x more energy efficient than K20, >250x more than TK1" at 30 fps.
+  const FrameReport r = AcceleratorModel(AcceleratorDesign{}).evaluate();
+  const double vs_k20 =
+      normalized_energy_per_frame_j(tesla_k20()) / r.energy_per_frame_j;
+  const double vs_tk1 =
+      normalized_energy_per_frame_j(tegra_k1()) / r.energy_per_frame_j;
+  EXPECT_GT(vs_k20, 500.0);
+  EXPECT_GT(vs_tk1, 250.0);
+}
+
+// --------------------------------------------------------------------- DSE
+
+TEST(Dse, ClusterSweepPicks996) {
+  const DesignSpaceExplorer dse{AcceleratorDesign{}};
+  const auto points = dse.sweep_cluster_configs(
+      {ClusterUnitConfig::way_111(), ClusterUnitConfig::way_911(),
+       ClusterUnitConfig::way_191(), ClusterUnitConfig::way_116(),
+       ClusterUnitConfig::way_996()});
+  const DsePoint* best = DesignSpaceExplorer::best_real_time(points);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->design.cluster.name(), "9-9-6");  // Section 6.2's choice
+}
+
+TEST(Dse, OnlyFullyPipelinedConfigIsRealTime) {
+  const DesignSpaceExplorer dse{AcceleratorDesign{}};
+  const auto points = dse.sweep_cluster_configs(
+      {ClusterUnitConfig::way_111(), ClusterUnitConfig::way_996()});
+  EXPECT_FALSE(points[0].report.real_time());  // 9 cycles/pixel: ~9x too slow
+  EXPECT_TRUE(points[1].report.real_time());
+}
+
+TEST(Dse, BufferSweepPicks4kB) {
+  const DesignSpaceExplorer dse{AcceleratorDesign{}};
+  const auto points =
+      dse.sweep_buffer_sizes({1024, 2048, 4096, 8192, 16384, 32768});
+  const DsePoint* best = DesignSpaceExplorer::best_real_time(points);
+  ASSERT_NE(best, nullptr);
+  // Minimum-energy real-time point: the smallest real-time buffer wins
+  // because bigger pads cost leakage+access energy for marginal time gains
+  // — the paper's Section 6.3 reasoning for choosing 4 kB.
+  EXPECT_DOUBLE_EQ(best->design.channel_buffer_bytes, 4096.0);
+}
+
+TEST(Dse, FullGridContainsAllCombinations) {
+  const DesignSpaceExplorer dse{AcceleratorDesign{}};
+  const auto points = dse.full_grid(
+      {ClusterUnitConfig::way_111(), ClusterUnitConfig::way_996()},
+      {1024, 4096});
+  EXPECT_EQ(points.size(), 4u);
+}
+
+TEST(Dse, BestIsNullWhenNothingMeetsRealTime) {
+  AcceleratorDesign slow;
+  slow.cluster = ClusterUnitConfig::way_111();
+  const DesignSpaceExplorer dse{slow};
+  const auto points = dse.sweep_buffer_sizes({1024, 4096});
+  EXPECT_EQ(DesignSpaceExplorer::best_real_time(points), nullptr);
+}
+
+TEST(Dse, CoreSweepMonotoneFps) {
+  const DesignSpaceExplorer dse{AcceleratorDesign{}};
+  const auto points = dse.sweep_cores({1, 2, 4});
+  EXPECT_LT(points[0].report.fps, points[1].report.fps);
+  EXPECT_LT(points[1].report.fps, points[2].report.fps);
+}
+
+// ----------------------------------------------------------- cycle simulator
+
+TEST(CycleSim, AgreesWithAnalyticalModelAtPaperPoint) {
+  const AcceleratorDesign design;
+  const double analytic = AcceleratorModel(design).evaluate().total_s;
+  const double simulated = CycleSimulator(design).run().seconds(design.clock_hz);
+  EXPECT_NEAR(simulated, analytic, analytic * 0.03);
+}
+
+TEST(CycleSim, AgreesAcrossBufferSizes) {
+  for (const double buffer : {1024.0, 4096.0, 16384.0, 65536.0}) {
+    AcceleratorDesign d;
+    d.channel_buffer_bytes = buffer;
+    const double analytic = AcceleratorModel(d).evaluate().total_s;
+    const double simulated = CycleSimulator(d).run().seconds(d.clock_hz);
+    EXPECT_NEAR(simulated, analytic, analytic * 0.05) << "buffer " << buffer;
+  }
+}
+
+TEST(CycleSim, CycleBreakdownSumsToTotal) {
+  const AcceleratorDesign design;
+  const CycleReport r = CycleSimulator(design).run();
+  EXPECT_EQ(r.total_cycles, r.conv_cycles + r.cluster_pixel_cycles +
+                                r.tile_overhead_cycles + r.center_update_cycles +
+                                r.dram_stall_cycles);
+}
+
+TEST(CycleSim, ProcessesEveryTileEveryIteration) {
+  AcceleratorDesign design;
+  design.width = 640;
+  design.height = 480;
+  design.num_superpixels = 1000;
+  const CycleReport r = CycleSimulator(design).run();
+  EXPECT_EQ(r.tiles_processed, r.iterations * (r.tiles_processed / r.iterations));
+  EXPECT_EQ(r.iterations,
+            static_cast<std::uint64_t>(design.full_sweeps) * 2u);  // ratio 0.5
+}
+
+TEST(CycleSim, SmallerBufferMeansMoreStall) {
+  AcceleratorDesign small;
+  small.channel_buffer_bytes = 512;
+  AcceleratorDesign big;
+  big.channel_buffer_bytes = 16384;
+  const CycleReport rs = CycleSimulator(small).run();
+  const CycleReport rb = CycleSimulator(big).run();
+  EXPECT_GT(rs.dram_stall_cycles, rb.dram_stall_cycles);
+  // Compute-side cycles are buffer-independent.
+  EXPECT_EQ(rs.cluster_pixel_cycles, rb.cluster_pixel_cycles);
+  EXPECT_EQ(rs.center_update_cycles, rb.center_update_cycles);
+}
+
+TEST(CycleSim, FullSamplingRaisesPixelCyclesAndTraffic) {
+  AcceleratorDesign half;  // default ratio 0.5
+  AcceleratorDesign full = half;
+  full.subsample_ratio = 1.0;
+  full.full_sweeps = half.full_sweeps;  // same sweep count
+  const CycleReport rh = CycleSimulator(half).run();
+  const CycleReport rf = CycleSimulator(full).run();
+  // Same total pixel visits (sweep parity) but half as many iterations for
+  // full sampling, so less per-tile overhead and center-update work.
+  EXPECT_NEAR(static_cast<double>(rf.cluster_pixel_cycles),
+              static_cast<double>(rh.cluster_pixel_cycles),
+              static_cast<double>(rh.cluster_pixel_cycles) * 0.01);
+  EXPECT_LT(rf.center_update_cycles, rh.center_update_cycles);
+}
+
+TEST(CycleSim, InvalidDesignThrows) {
+  AcceleratorDesign d;
+  d.channel_buffer_bytes = 64;
+  EXPECT_THROW(CycleSimulator{d}, ContractViolation);
+}
+
+// ------------------------------------------------------------ energy model
+
+TEST(EnergyModel, DramIs2500xAdd8) {
+  const EnergyModel& e = default_energy_model();
+  EXPECT_DOUBLE_EQ(e.dram_device_pj_per_byte, 2500.0 * e.add8_pj);
+}
+
+TEST(EnergyModel, SramEnergyGrowsWithCapacity) {
+  const EnergyModel& e = default_energy_model();
+  EXPECT_LT(e.sram_access_pj_per_byte(1.0), e.sram_access_pj_per_byte(4.0));
+  EXPECT_LT(e.sram_access_pj_per_byte(4.0), e.sram_access_pj_per_byte(128.0));
+}
+
+TEST(AreaModel, ScratchpadScalesLinearly) {
+  const AreaModel& a = default_area_model();
+  EXPECT_DOUBLE_EQ(a.scratchpad(8192.0), 2.0 * a.scratchpad(4096.0));
+}
+
+}  // namespace
+}  // namespace sslic::hw

@@ -1,0 +1,184 @@
+// Cross-module integration tests: full pipelines from synthetic corpus
+// through segmentation to quality metrics, software/hardware agreement,
+// and small-scale versions of the paper's headline experiments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/synthetic.h"
+#include "hw/accelerator_model.h"
+#include "image/draw.h"
+#include "metrics/segmentation_metrics.h"
+#include "slic/grid.h"
+#include "slic/hw_datapath.h"
+#include "slic/segmenter.h"
+
+namespace sslic {
+namespace {
+
+SyntheticParams corpus_params() {
+  SyntheticParams p;
+  p.width = 128;
+  p.height = 96;
+  p.min_regions = 4;
+  p.max_regions = 9;
+  return p;
+}
+
+// -------------------------------------------------- corpus-level pipeline
+
+TEST(Integration, CorpusSegmentationQualityIsConsistent) {
+  const SyntheticCorpus corpus(corpus_params(), 4, 2000);
+  SlicParams params;
+  params.num_superpixels = 48;
+  params.max_iterations = 8;
+
+  double mean_use = 0.0, mean_recall = 0.0, mean_asa = 0.0;
+  for (int i = 0; i < corpus.size(); ++i) {
+    const GroundTruthImage gt = corpus.generate(i);
+    const Segmentation seg = run_segmenter(Algorithm::kSslicPpa, params, gt.image);
+    mean_use += undersegmentation_error_min(seg.labels, gt.truth);
+    mean_recall += boundary_recall(seg.labels, gt.truth, 2);
+    mean_asa += achievable_segmentation_accuracy(seg.labels, gt.truth);
+  }
+  mean_use /= corpus.size();
+  mean_recall /= corpus.size();
+  mean_asa /= corpus.size();
+
+  // Superpixels on piecewise-smooth images must be good at these sizes.
+  EXPECT_LT(mean_use, 0.08);
+  EXPECT_GT(mean_recall, 0.80);
+  EXPECT_GT(mean_asa, 0.92);
+}
+
+TEST(Integration, MoreSuperpixelsImproveBoundaryRecall) {
+  const GroundTruthImage gt = generate_synthetic(corpus_params(), 5);
+  double prev = -1.0;
+  for (const int k : {16, 48, 120}) {
+    SlicParams params;
+    params.num_superpixels = k;
+    params.max_iterations = 8;
+    const Segmentation seg = run_segmenter(Algorithm::kSslicPpa, params, gt.image);
+    const double recall = boundary_recall(seg.labels, gt.truth, 2);
+    EXPECT_GT(recall, prev - 0.02) << "K=" << k;  // near-monotone
+    prev = recall;
+  }
+}
+
+TEST(Integration, CompactnessWeightControlsShape) {
+  // The m parameter of Eq. 5 trades color adherence for spatial
+  // regularity: superpixel compactness must increase monotonically in m.
+  const GroundTruthImage gt = generate_synthetic(corpus_params(), 6);
+  double prev = -1.0;
+  for (const double m : {5.0, 15.0, 40.0}) {
+    SlicParams params;
+    params.num_superpixels = 48;
+    params.max_iterations = 8;
+    params.compactness = m;
+    const Segmentation seg = run_segmenter(Algorithm::kSslicPpa, params, gt.image);
+    const double c = compactness(seg.labels);
+    EXPECT_GT(c, prev) << "m=" << m;
+    prev = c;
+  }
+}
+
+// -------------------------------------- Fig. 2 in miniature: equal quality,
+// fewer distance computations for S-SLIC
+
+TEST(Integration, SubsamplingReachesQualityWithLessWork) {
+  const GroundTruthImage gt = generate_synthetic(corpus_params(), 8);
+
+  SlicParams full;
+  full.num_superpixels = 48;
+  full.max_iterations = 8;
+  full.subsample_ratio = 1.0;
+  Instrumentation instr_full;
+  const Segmentation seg_full =
+      run_segmenter(Algorithm::kSslicPpa, full, gt.image, DataWidth::float64(),
+                    {}, &instr_full);
+  const double use_full = undersegmentation_error_min(seg_full.labels, gt.truth);
+
+  SlicParams half = full;
+  half.subsample_ratio = 0.5;
+  half.max_iterations = 12;  // 6 full sweeps — still 25% fewer pixel visits
+  Instrumentation instr_half;
+  const Segmentation seg_half =
+      run_segmenter(Algorithm::kSslicPpa, half, gt.image, DataWidth::float64(),
+                    {}, &instr_half);
+  const double use_half = undersegmentation_error_min(seg_half.labels, gt.truth);
+
+  EXPECT_LT(instr_half.ops.distance_evals,
+            instr_full.ops.distance_evals * 80 / 100);
+  EXPECT_LT(use_half, use_full + 0.01);
+}
+
+// ------------------------------------------- hardware/software consistency
+
+TEST(Integration, GoldenModelStatsMatchPerfModelSchedule) {
+  // The golden datapath and the analytical model must agree on the FSM
+  // schedule structure: tiles per iteration, iterations, center updates.
+  const GroundTruthImage gt = generate_synthetic(corpus_params(), 9);
+  HwConfig config;
+  config.num_superpixels = 48;
+  config.iterations = 6;
+  config.subsample_ratio = 0.5;
+  HwRunStats stats;
+  (void)HwSlic(config).segment(gt.image, &stats);
+
+  const CenterGrid grid(128, 96, 48);
+  EXPECT_EQ(stats.tiles_processed,
+            static_cast<std::uint64_t>(grid.num_centers()) * 6u);
+  EXPECT_EQ(stats.iterations, 6u);
+  EXPECT_LE(stats.center_updates,
+            static_cast<std::uint64_t>(grid.num_centers()) * 6u);
+}
+
+TEST(Integration, HwSegmentationFeedsMetricsAndDrawing) {
+  const GroundTruthImage gt = generate_synthetic(corpus_params(), 11);
+  HwConfig config;
+  config.num_superpixels = 48;
+  config.iterations = 10;
+  const Segmentation seg = HwSlic(config).segment(gt.image);
+
+  const double asa = achievable_segmentation_accuracy(seg.labels, gt.truth);
+  EXPECT_GT(asa, 0.88);
+
+  const RgbImage overlay = overlay_boundaries(gt.image, seg.labels);
+  EXPECT_EQ(overlay.width(), gt.image.width());
+  const RgbImage abstraction = mean_color_abstraction(gt.image, seg.labels);
+  EXPECT_EQ(abstraction.height(), gt.image.height());
+}
+
+// ------------------------------------------------- model-level sanity ties
+
+TEST(Integration, AcceleratorRealTimeImpliesVideoRate) {
+  // The end-to-end story: the chosen design segments HD at 30+ fps, i.e.
+  // a 1-second 30-frame stream completes within a second.
+  const hw::FrameReport r =
+      hw::AcceleratorModel(hw::AcceleratorDesign{}).evaluate();
+  EXPECT_TRUE(r.real_time());
+  EXPECT_LT(30.0 * r.total_s, 1.0);
+}
+
+TEST(Integration, SubsamplingReducesModelledBandwidth) {
+  // The abstract's 1.8x bandwidth claim, in the paper's Table-1 framing
+  // ("the same number of full iterations"): S-SLIC(0.5) running N subset
+  // iterations moves substantially less DRAM data than full-sampling PPA
+  // running N full iterations, because the image-channel stream halves
+  // while the index stream and center records do not.
+  hw::AcceleratorDesign full;
+  full.subsample_ratio = 1.0;
+  full.full_sweeps = 8;  // 8 full iterations
+  hw::AcceleratorDesign half;
+  half.subsample_ratio = 0.5;
+  half.full_sweeps = 4;  // also 8 subset iterations
+  const auto r_full = hw::AcceleratorModel(full).evaluate();
+  const auto r_half = hw::AcceleratorModel(half).evaluate();
+  EXPECT_LT(r_half.dram_bytes, r_full.dram_bytes);
+  const double reduction = r_full.dram_bytes / r_half.dram_bytes;
+  EXPECT_GT(reduction, 1.2);
+  EXPECT_LT(reduction, 2.0);
+}
+
+}  // namespace
+}  // namespace sslic

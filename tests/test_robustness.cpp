@@ -1,0 +1,150 @@
+// Failure-injection tests: the file parsers (PPM/PGM/.seg) must never
+// crash or corrupt state on malformed input — every mutation of a valid
+// file either parses to a well-formed object or throws a clean
+// std::exception. Mutations are deterministic (seeded Rng).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/bsds.h"
+#include "dataset/synthetic.h"
+#include "image/io.h"
+
+namespace sslic {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Applies one random mutation: byte flip, truncation, or duplication.
+std::string mutate(const std::string& original, Rng& rng) {
+  std::string bytes = original;
+  switch (rng.next_int(0, 2)) {
+    case 0: {  // flip a byte
+      if (!bytes.empty()) {
+        const auto pos = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(bytes.size())));
+        bytes[pos] = static_cast<char>(rng.next_int(0, 255));
+      }
+      break;
+    }
+    case 1: {  // truncate
+      const auto keep = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(bytes.size()) + 1));
+      bytes.resize(keep);
+      break;
+    }
+    default: {  // duplicate a chunk in the middle
+      if (bytes.size() > 8) {
+        const auto pos = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(bytes.size() - 4)));
+        bytes.insert(pos, bytes.substr(pos, 4));
+      }
+      break;
+    }
+  }
+  return bytes;
+}
+
+template <typename Parser>
+void fuzz_parser(const std::string& valid_bytes, const std::string& path,
+                 std::uint64_t seed, int rounds, Parser parse) {
+  Rng rng(seed);
+  int parsed_ok = 0;
+  for (int i = 0; i < rounds; ++i) {
+    write_file(path, mutate(valid_bytes, rng));
+    try {
+      parse(path);
+      ++parsed_ok;  // mutation happened to stay valid — fine
+    } catch (const std::exception&) {
+      // clean failure — fine
+    }
+  }
+  std::remove(path.c_str());
+  // Not every mutation can invalidate the file, but most should; this
+  // guards against a parser that silently accepts garbage.
+  EXPECT_LT(parsed_ok, rounds);
+}
+
+TEST(Robustness, PpmParserSurvivesMutations) {
+  SyntheticParams p;
+  p.width = 48;
+  p.height = 32;
+  const GroundTruthImage gt = generate_synthetic(p, 1);
+  const std::string path = temp_path("sslic_fuzz.ppm");
+  write_ppm(path, gt.image);
+  const std::string valid = read_file(path);
+  fuzz_parser(valid, path, 101, 200,
+              [](const std::string& file) { (void)read_ppm(file); });
+}
+
+TEST(Robustness, PgmParserSurvivesMutations) {
+  Image<std::uint8_t> grey(40, 24);
+  for (std::size_t i = 0; i < grey.size(); ++i)
+    grey.pixels()[i] = static_cast<std::uint8_t>(i * 7);
+  const std::string path = temp_path("sslic_fuzz.pgm");
+  write_pgm(path, grey);
+  const std::string valid = read_file(path);
+  fuzz_parser(valid, path, 102, 200,
+              [](const std::string& file) { (void)read_pgm(file); });
+}
+
+TEST(Robustness, SegParserSurvivesMutations) {
+  SyntheticParams p;
+  p.width = 48;
+  p.height = 32;
+  const GroundTruthImage gt = generate_synthetic(p, 2);
+  const std::string path = temp_path("sslic_fuzz.seg");
+  write_bsds_seg(path, gt.truth);
+  const std::string valid = read_file(path);
+  fuzz_parser(valid, path, 103, 200,
+              [](const std::string& file) { (void)read_bsds_seg(file); });
+}
+
+TEST(Robustness, PgmRoundTrip) {
+  Image<std::uint8_t> grey(17, 9);
+  Rng rng(5);
+  for (auto& px : grey.pixels())
+    px = static_cast<std::uint8_t>(rng.next_int(0, 255));
+  const std::string path = temp_path("sslic_pgm_rt.pgm");
+  write_pgm(path, grey);
+  EXPECT_EQ(read_pgm(path), grey);
+  std::remove(path.c_str());
+}
+
+TEST(Robustness, PgmAsciiP2Parses) {
+  const std::string path = temp_path("sslic_p2.pgm");
+  write_file(path, "P2\n3 2\n255\n0 128 255\n10 20 30\n");
+  const Image<std::uint8_t> grey = read_pgm(path);
+  EXPECT_EQ(grey(1, 0), 128);
+  EXPECT_EQ(grey(2, 1), 30);
+  std::remove(path.c_str());
+}
+
+TEST(Robustness, EmptyFilesThrowCleanly) {
+  const std::string path = temp_path("sslic_empty");
+  write_file(path, "");
+  EXPECT_THROW(read_ppm(path), std::runtime_error);
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  EXPECT_THROW(read_bsds_seg(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sslic
