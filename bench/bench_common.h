@@ -9,13 +9,18 @@
 // so the reproduction can be eyeballed directly.
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "dataset/synthetic.h"
 #include "metrics/segmentation_metrics.h"
 #include "slic/segmenter.h"
@@ -31,8 +36,12 @@ struct BenchConfig {
   double compactness = 10.0;
   int iterations = 10;
   int annotators = 1;  ///< ground-truth annotations per image (BSDS has ~5)
+  int threads = 0;     ///< worker threads; 0 = SSLIC_THREADS env or all cores
   std::uint64_t seed = 1000;
 
+  /// Parses the common flags. As a side effect, `--threads=N` (or the
+  /// `SSLIC_THREADS` environment variable when the flag is absent) resizes
+  /// the global thread pool for the whole bench run.
   static BenchConfig parse(int argc, const char* const* argv) {
     const CliArgs args(argc, argv);
     BenchConfig config;
@@ -43,7 +52,10 @@ struct BenchConfig {
     config.compactness = args.get_double("compactness", config.compactness);
     config.iterations = args.get_int("iterations", config.iterations);
     config.annotators = args.get_int("annotators", config.annotators);
+    config.threads = args.get_int("threads", config.threads);
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1000));
+    ThreadPool::set_global_threads(config.threads);
+    config.threads = ThreadPool::global().threads();
     return config;
   }
 
@@ -69,10 +81,108 @@ inline void banner(const std::string& title, const BenchConfig& config) {
             << title << '\n'
             << "workload: " << config.images << " synthetic Berkeley-like images, "
             << config.width << 'x' << config.height << ", K=" << config.superpixels
-            << ", m=" << config.compactness << '\n'
+            << ", m=" << config.compactness << ", threads=" << config.threads
+            << '\n'
             << "(see DESIGN.md §1 for the BSDS substitution; --images=N to scale)\n"
             << "==================================================================\n";
 }
+
+/// Minimal JSON value tree for machine-readable bench artifacts
+/// (BENCH_*.json). Supports exactly what the benches need: objects with
+/// insertion-ordered keys, arrays, numbers, strings, and booleans.
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+  Json(double v) : kind_(Kind::kNumber), number_(v) {}                // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}                      // NOLINT
+  Json(std::int64_t v) : Json(static_cast<double>(v)) {}             // NOLINT
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}            // NOLINT
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}                     // NOLINT
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}  // NOLINT
+  Json(const char* v) : Json(std::string(v)) {}                      // NOLINT
+
+  Json& set(const std::string& key, Json value) {
+    members_.emplace_back(key, std::make_shared<Json>(std::move(value)));
+    return *this;
+  }
+  Json& push(Json value) {
+    elements_.push_back(std::make_shared<Json>(std::move(value)));
+    return *this;
+  }
+
+  void dump(std::ostream& out, int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kObject: {
+        out << "{";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out << (i == 0 ? "\n" : ",\n") << pad_in << '"'
+              << escaped(members_[i].first) << "\": ";
+          members_[i].second->dump(out, indent + 1);
+        }
+        out << (members_.empty() ? "" : "\n" + pad) << "}";
+        break;
+      }
+      case Kind::kArray: {
+        out << "[";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          out << (i == 0 ? "\n" : ",\n") << pad_in;
+          elements_[i]->dump(out, indent + 1);
+        }
+        out << (elements_.empty() ? "" : "\n" + pad) << "]";
+        break;
+      }
+      case Kind::kNumber: {
+        std::ostringstream s;
+        s.precision(12);
+        s << number_;
+        out << s.str();
+        break;
+      }
+      case Kind::kString:
+        out << '"' << escaped(string_) << '"';
+        break;
+      case Kind::kBool:
+        out << (bool_ ? "true" : "false");
+        break;
+    }
+  }
+
+  /// Writes the tree to `path`; reports the artifact on stdout.
+  void write_file(const std::string& path) const {
+    std::ofstream out(path);
+    dump(out);
+    out << '\n';
+    std::cout << "wrote " << path << '\n';
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kString, kBool };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  Kind kind_ = Kind::kObject;
+  double number_ = 0.0;
+  std::string string_;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, std::shared_ptr<Json>>> members_;
+  std::vector<std::shared_ptr<Json>> elements_;
+};
 
 /// Quality metrics of one segmentation against ground truth.
 struct Quality {

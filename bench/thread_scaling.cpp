@@ -1,0 +1,131 @@
+// Thread-scaling sweep for the multithreaded software path.
+//
+// Runs the CPA S-SLIC software segmenter on a 1080p synthetic frame at
+// thread counts {1, 2, 4, 8, hardware_concurrency} and reports ms/frame
+// plus speedup over the serial run. Labels are cross-checked against the
+// serial result at every thread count — the determinism contract says they
+// must be bit-identical (see DESIGN.md "Parallel execution").
+//
+// Emits BENCH_thread_scaling.json with the sweep so CI or plotting scripts
+// can consume the numbers directly.
+//
+//   thread_scaling [--frames=5] [--superpixels=2000] [--ratio=0.5]
+//                  [--width=1920 --height=1080]
+#include <algorithm>
+#include <iostream>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "color/color_convert.h"
+#include "common/thread_pool.h"
+#include "slic/slic_baseline.h"
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  const CliArgs args(argc, argv);
+  const int frames = args.get_int("frames", 5);
+  const int width = args.get_int("width", 1920);
+  const int height = args.get_int("height", 1080);
+  const int superpixels = args.get_int("superpixels", 2000);
+  const double ratio = args.get_double("ratio", 0.5);
+
+  const int hw_threads = ThreadPool::default_threads();
+  std::set<int> sweep = {1, 2, 4, 8};
+  sweep.insert(hw_threads);
+
+  std::cout << "==================================================================\n"
+            << "Thread scaling — CPA S-SLIC(" << ratio << ") software path\n"
+            << "workload: " << width << 'x' << height << ", K=" << superpixels
+            << ", " << frames << " timed frames per point (median reported)\n"
+            << "machine: " << std::thread::hardware_concurrency()
+            << " hardware thread(s)\n"
+            << "==================================================================\n";
+
+  SyntheticParams scene;
+  scene.width = width;
+  scene.height = height;
+  const GroundTruthImage gt = generate_synthetic(scene, 4242);
+  const LabImage lab = srgb_to_lab(gt.image);
+
+  SlicParams params;
+  params.num_superpixels = superpixels;
+  params.subsample_ratio = ratio;
+  const CpaSlic slic(params);
+
+  struct Point {
+    int threads = 0;
+    double ms = 0.0;
+    double speedup = 1.0;
+    bool identical = true;
+  };
+  std::vector<Point> points;
+  LabelImage serial_labels;
+
+  for (const int threads : sweep) {
+    ThreadPool::set_global_threads(threads);
+    Point point;
+    point.threads = ThreadPool::global().threads();
+
+    std::vector<double> samples;
+    Segmentation seg;
+    for (int f = 0; f < frames; ++f) {
+      Stopwatch watch;
+      seg = slic.segment_lab(lab);
+      samples.push_back(watch.elapsed_ms());
+    }
+    std::sort(samples.begin(), samples.end());
+    point.ms = samples[samples.size() / 2];
+
+    if (threads == 1)
+      serial_labels = seg.labels;
+    else
+      point.identical = seg.labels.pixels() == serial_labels.pixels();
+    points.push_back(point);
+  }
+  ThreadPool::set_global_threads(0);
+
+  const double serial_ms = points.front().ms;
+  Table table("1080p frame time vs thread count");
+  table.set_header({"threads", "ms/frame", "fps", "speedup", "labels vs serial"});
+  for (auto& point : points) {
+    point.speedup = serial_ms / point.ms;
+    table.add_row({std::to_string(point.threads), Table::num(point.ms, 1),
+                   Table::num(1000.0 / point.ms, 1),
+                   Table::num(point.speedup, 2) + "x",
+                   point.identical ? "identical" : "DIFFER (bug!)"});
+  }
+  std::cout << table;
+
+  bench::Json sweep_json = bench::Json::array();
+  for (const Point& point : points) {
+    sweep_json.push(bench::Json::object()
+                        .set("threads", point.threads)
+                        .set("ms_per_frame", point.ms)
+                        .set("fps", 1000.0 / point.ms)
+                        .set("speedup_vs_serial", point.speedup)
+                        .set("labels_identical_to_serial", point.identical));
+  }
+  bench::Json::object()
+      .set("bench", "thread_scaling")
+      .set("workload", bench::Json::object()
+                           .set("width", width)
+                           .set("height", height)
+                           .set("superpixels", superpixels)
+                           .set("subsample_ratio", ratio)
+                           .set("timed_frames", frames))
+      .set("hardware_threads",
+           static_cast<int>(std::thread::hardware_concurrency()))
+      .set("sweep", std::move(sweep_json))
+      .write_file("BENCH_thread_scaling.json");
+
+  const bool all_identical =
+      std::all_of(points.begin(), points.end(),
+                  [](const Point& p) { return p.identical; });
+  std::cout << "determinism: "
+            << (all_identical ? "labels bit-identical at every thread count"
+                              : "MISMATCH across thread counts")
+            << '\n';
+  return all_identical ? 0 : 1;
+}

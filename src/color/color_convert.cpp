@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace sslic {
 
 double srgb_inverse_gamma(double encoded) {
@@ -54,8 +56,14 @@ LabF srgb_to_lab(Rgb8 rgb) {
 
 LabImage srgb_to_lab(const RgbImage& image) {
   LabImage lab(image.width(), image.height());
-  for (std::size_t i = 0; i < image.size(); ++i)
-    lab.pixels()[i] = srgb_to_lab(image.pixels()[i]);
+  // Pure per-pixel map: identical output for any range partition.
+  parallel_for(0, static_cast<std::int64_t>(image.size()),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const auto idx = static_cast<std::size_t>(i);
+                   lab.pixels()[idx] = srgb_to_lab(image.pixels()[idx]);
+                 }
+               });
   return lab;
 }
 

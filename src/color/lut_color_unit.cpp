@@ -5,6 +5,7 @@
 
 #include "color/color_convert.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace sslic {
 namespace {
@@ -135,19 +136,32 @@ Lab8 LutColorUnit::convert(Rgb8 rgb) const {
 
 Planar8 LutColorUnit::convert(const RgbImage& image) const {
   Planar8 planes(image.width(), image.height());
-  for (std::size_t i = 0; i < image.size(); ++i) {
-    const Lab8 lab = convert(image.pixels()[i]);
-    planes.ch1.pixels()[i] = lab.L;
-    planes.ch2.pixels()[i] = lab.a;
-    planes.ch3.pixels()[i] = lab.b;
-  }
+  // The software model of the color unit is a pure per-pixel map, so the
+  // image-level conversion is row-parallel; the per-pixel LUT datapath
+  // itself stays bit-exact and single-pixel (hardware fidelity lives
+  // there, not in the image iteration order).
+  parallel_for(0, static_cast<std::int64_t>(image.size()),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const auto idx = static_cast<std::size_t>(i);
+                   const Lab8 lab = convert(image.pixels()[idx]);
+                   planes.ch1.pixels()[idx] = lab.L;
+                   planes.ch2.pixels()[idx] = lab.a;
+                   planes.ch3.pixels()[idx] = lab.b;
+                 }
+               });
   return planes;
 }
 
 Image<Lab8> LutColorUnit::convert_interleaved(const RgbImage& image) const {
   Image<Lab8> out(image.width(), image.height());
-  for (std::size_t i = 0; i < image.size(); ++i)
-    out.pixels()[i] = convert(image.pixels()[i]);
+  parallel_for(0, static_cast<std::int64_t>(image.size()),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const auto idx = static_cast<std::size_t>(i);
+                   out.pixels()[idx] = convert(image.pixels()[idx]);
+                 }
+               });
   return out;
 }
 

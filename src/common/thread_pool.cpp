@@ -1,0 +1,217 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+
+namespace sslic {
+namespace {
+
+// True while this thread is inside a parallel region: set for the lifetime
+// of a pool worker, and transiently on the calling thread while it drains
+// chunks of its own job. Guards nested calls against reentering the
+// single-job Impl state.
+thread_local bool t_in_parallel = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One outstanding job at a time; run_chunks is a blocking call, so the
+  // state is reused across jobs and guarded by `mutex`. `job_mutex` is held
+  // for a whole job: a second external thread submitting concurrently
+  // fails the try_lock and runs its chunks serially on itself instead
+  // (e.g. the video pipeline's conversion thread overlapping a clustering
+  // job that owns the pool).
+  std::mutex job_mutex;
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::uint64_t generation = 0;  // bumped per job; workers wait for a bump
+  bool shutting_down = false;
+
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::size_t done_chunks = 0;   // guarded by mutex
+  std::size_t busy_workers = 0;  // workers currently inside drain(); guarded
+  std::atomic<bool> failed{false};
+  std::exception_ptr exception;  // first failure, guarded by mutex
+
+  std::vector<std::thread> workers;
+
+  // Claims and runs chunks until the job is exhausted; returns the number
+  // of chunks this thread completed (including abandoned ones — a chunk
+  // skipped after a failure still counts toward completion so the caller's
+  // wait terminates).
+  std::size_t drain() {
+    std::size_t completed = 0;
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          (*fn)(c);
+        } catch (...) {
+          bool expected = false;
+          if (failed.compare_exchange_strong(expected, true)) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            exception = std::current_exception();
+          }
+        }
+      }
+      ++completed;
+    }
+    return completed;
+  }
+
+  // A job is complete only when every chunk ran AND every worker has left
+  // drain() — otherwise a straggler could observe the next job's freshly
+  // reset counters mid-claim and double-run a chunk.
+  void worker_loop() {
+    t_in_parallel = true;
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] {
+          return shutting_down || generation != seen_generation;
+        });
+        if (shutting_down) return;
+        seen_generation = generation;
+        busy_workers += 1;
+      }
+      const std::size_t completed = drain();
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        done_chunks += completed;
+        busy_workers -= 1;
+        if (busy_workers == 0 && done_chunks == num_chunks)
+          work_done.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  if (threads_ == 1) return;
+  impl_ = new Impl;
+  impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::run_chunks(std::size_t num_chunks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  // Serial fallbacks: one thread, one chunk, or a nested call from a chunk
+  // body already running on this pool (a worker parking on work_done, or
+  // the caller reentering run_chunks mid-drain, would deadlock or corrupt
+  // the in-flight job state).
+  if (impl_ == nullptr || num_chunks == 1 || t_in_parallel) {
+    for (std::size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+
+  Impl& impl = *impl_;
+  const std::unique_lock<std::mutex> job_lock(impl.job_mutex, std::try_to_lock);
+  if (!job_lock.owns_lock()) {
+    for (std::size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl.mutex);
+    impl.fn = &fn;
+    impl.num_chunks = num_chunks;
+    impl.next_chunk.store(0, std::memory_order_relaxed);
+    impl.done_chunks = 0;
+    impl.failed.store(false, std::memory_order_relaxed);
+    impl.exception = nullptr;
+    impl.generation += 1;
+  }
+  impl.work_ready.notify_all();
+
+  t_in_parallel = true;
+  const std::size_t completed = impl.drain();
+  t_in_parallel = false;
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    impl.done_chunks += completed;
+    impl.work_done.wait(lock, [&] {
+      return impl.done_chunks == num_chunks && impl.busy_workers == 0;
+    });
+    impl.fn = nullptr;
+    if (impl.exception != nullptr) {
+      std::exception_ptr e = impl.exception;
+      impl.exception = nullptr;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+bool ThreadPool::in_parallel_region() { return t_in_parallel; }
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("SSLIC_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1 && parsed <= 1024)
+      return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  const std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (g_global_pool == nullptr)
+    g_global_pool = std::make_unique<ThreadPool>(default_threads());
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  SSLIC_CHECK_MSG(!t_in_parallel,
+                  "set_global_threads called from inside a parallel region");
+  const std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool =
+      std::make_unique<ThreadPool>(threads <= 0 ? default_threads() : threads);
+}
+
+namespace detail {
+
+std::size_t default_for_chunks(std::int64_t range) {
+  if (range <= 1) return static_cast<std::size_t>(std::max<std::int64_t>(range, 0));
+  const int threads = ThreadPool::global().threads();
+  if (threads <= 1) return 1;
+  const auto target = static_cast<std::size_t>(threads) * 4;
+  return std::min(static_cast<std::size_t>(range), target);
+}
+
+}  // namespace detail
+
+}  // namespace sslic

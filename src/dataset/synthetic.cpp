@@ -7,6 +7,7 @@
 
 #include "color/color_convert.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "dataset/noise.h"
 
 namespace sslic {
@@ -65,26 +66,32 @@ LabelImage rasterize_partition(const Scene& scene, const SyntheticParams& params
   FractalNoise warp_y(warp_rng, 2, params.warp_cell);
 
   LabelImage truth(params.width, params.height);
-  for (int y = 0; y < params.height; ++y) {
-    for (int x = 0; x < params.width; ++x) {
-      const double wx = x + params.warp_amplitude * warp_x.sample(x, y);
-      const double wy = y + params.warp_amplitude * warp_y.sample(x, y);
-      double best = std::numeric_limits<double>::max();
-      int best_region = 0;
-      for (const auto& s : scene.sites) {
-        const double dx = wx - s.x;
-        const double dy = wy - s.y;
-        const double d = dx * dx + dy * dy;
-        if (d < best) {
-          best = d;
-          best_region = s.region;
+  // The nearest-site search is the generator's hot loop (O(pixels * sites))
+  // and every pixel is independent: the warp fields are immutable after
+  // construction and the RNG was consumed up front, so row-parallel
+  // rasterization is exactly deterministic.
+  parallel_for(0, params.height, [&](std::int64_t ylo, std::int64_t yhi) {
+    for (int y = static_cast<int>(ylo); y < static_cast<int>(yhi); ++y) {
+      for (int x = 0; x < params.width; ++x) {
+        const double wx = x + params.warp_amplitude * warp_x.sample(x, y);
+        const double wy = y + params.warp_amplitude * warp_y.sample(x, y);
+        double best = std::numeric_limits<double>::max();
+        int best_region = 0;
+        for (const auto& s : scene.sites) {
+          const double dx = wx - s.x;
+          const double dy = wy - s.y;
+          const double d = dx * dx + dy * dy;
+          if (d < best) {
+            best = d;
+            best_region = s.region;
+          }
         }
+        if (merge_map != nullptr)
+          best_region = (*merge_map)[static_cast<std::size_t>(best_region)];
+        truth(x, y) = best_region;
       }
-      if (merge_map != nullptr)
-        best_region = (*merge_map)[static_cast<std::size_t>(best_region)];
-      truth(x, y) = best_region;
     }
-  }
+  });
   const int count = compact_labels(truth);
   if (num_regions_out != nullptr) *num_regions_out = count;
   return truth;

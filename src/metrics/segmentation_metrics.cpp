@@ -6,18 +6,30 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "image/draw.h"
 
 namespace sslic {
 namespace {
 
 int max_label(const LabelImage& labels) {
-  std::int32_t m = -1;
-  for (const auto v : labels.pixels()) {
-    SSLIC_CHECK_MSG(v >= 0, "negative label " << v);
-    m = std::max(m, v);
-  }
-  return m;
+  // Order-free max reduction over disjoint ranges.
+  struct MaxPartial {
+    std::int32_t m = -1;
+  };
+  const MaxPartial result = parallel_reduce<MaxPartial>(
+      0, static_cast<std::int64_t>(labels.size()),
+      [&](MaxPartial& partial, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const std::int32_t v = labels.pixels()[static_cast<std::size_t>(i)];
+          SSLIC_CHECK_MSG(v >= 0, "negative label " << v);
+          partial.m = std::max(partial.m, v);
+        }
+      },
+      [](MaxPartial& into, MaxPartial&& from) {
+        into.m = std::max(into.m, from.m);
+      });
+  return result.m;
 }
 
 }  // namespace
@@ -31,23 +43,49 @@ OverlapTable::OverlapTable(const LabelImage& superpixels,
   num_sp_ = max_label(superpixels) + 1;
   num_gt_ = max_label(ground_truth) + 1;
 
-  sp_size_.assign(static_cast<std::size_t>(num_sp_), 0);
-  gt_size_.assign(static_cast<std::size_t>(num_gt_), 0);
-
-  std::unordered_map<std::uint64_t, std::int64_t> counts;
-  counts.reserve(static_cast<std::size_t>(num_sp_) * 2);
-  for (std::size_t i = 0; i < num_pixels_; ++i) {
-    const std::int32_t sp = superpixels.pixels()[i];
-    const std::int32_t gt = ground_truth.pixels()[i];
-    sp_size_[static_cast<std::size_t>(sp)] += 1;
-    gt_size_[static_cast<std::size_t>(gt)] += 1;
-    const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sp))
-                               << 32) |
-                              static_cast<std::uint32_t>(gt);
-    counts[key] += 1;
-  }
-  overlaps_.reserve(counts.size());
-  for (const auto& [key, count] : counts) {
+  // Histogramming is parallel over disjoint pixel ranges with per-chunk
+  // size vectors and overlap maps; all merged quantities are integer
+  // counts, so the merge order cannot affect the result, and the final
+  // sort below fixes the overlap ordering regardless of hash iteration.
+  struct CountPartial {
+    std::vector<std::int64_t> sp_size;
+    std::vector<std::int64_t> gt_size;
+    std::unordered_map<std::uint64_t, std::int64_t> counts;
+  };
+  CountPartial merged = parallel_reduce<CountPartial>(
+      0, static_cast<std::int64_t>(num_pixels_),
+      [&](CountPartial& partial, std::int64_t lo, std::int64_t hi) {
+        partial.sp_size.assign(static_cast<std::size_t>(num_sp_), 0);
+        partial.gt_size.assign(static_cast<std::size_t>(num_gt_), 0);
+        partial.counts.reserve(static_cast<std::size_t>(num_sp_));
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          const std::int32_t sp = superpixels.pixels()[idx];
+          const std::int32_t gt = ground_truth.pixels()[idx];
+          partial.sp_size[static_cast<std::size_t>(sp)] += 1;
+          partial.gt_size[static_cast<std::size_t>(gt)] += 1;
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sp)) << 32) |
+              static_cast<std::uint32_t>(gt);
+          partial.counts[key] += 1;
+        }
+      },
+      [](CountPartial& into, CountPartial&& from) {
+        if (from.sp_size.empty()) return;
+        if (into.sp_size.empty()) {
+          into = std::move(from);
+          return;
+        }
+        for (std::size_t i = 0; i < into.sp_size.size(); ++i)
+          into.sp_size[i] += from.sp_size[i];
+        for (std::size_t i = 0; i < into.gt_size.size(); ++i)
+          into.gt_size[i] += from.gt_size[i];
+        for (const auto& [key, count] : from.counts) into.counts[key] += count;
+      });
+  sp_size_ = std::move(merged.sp_size);
+  gt_size_ = std::move(merged.gt_size);
+  overlaps_.reserve(merged.counts.size());
+  for (const auto& [key, count] : merged.counts) {
     overlaps_.push_back({static_cast<std::int32_t>(key >> 32),
                          static_cast<std::int32_t>(key & 0xffffffffu), count});
   }
@@ -109,30 +147,44 @@ double boundary_match_fraction(const LabelImage& reference,
   const int w = reference.width();
   const int h = reference.height();
 
-  std::int64_t total = 0;
-  std::int64_t matched = 0;
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      if (ref_mask(x, y) == 0) continue;
-      ++total;
-      bool hit = false;
-      for (int dy = -tolerance; dy <= tolerance && !hit; ++dy) {
-        const int ny = y + dy;
-        if (ny < 0 || ny >= h) continue;
-        for (int dx = -tolerance; dx <= tolerance; ++dx) {
-          const int nx = x + dx;
-          if (nx < 0 || nx >= w) continue;
-          if (cand_mask(nx, ny) != 0) {
-            hit = true;
-            break;
+  // Row-parallel: each boundary pixel's tolerance search only reads the
+  // candidate mask, and the matched/total tallies are integer sums, so the
+  // reduction is order-free.
+  struct MatchPartial {
+    std::int64_t total = 0;
+    std::int64_t matched = 0;
+  };
+  const MatchPartial result = parallel_reduce<MatchPartial>(
+      0, h,
+      [&](MatchPartial& partial, std::int64_t ylo, std::int64_t yhi) {
+        for (int y = static_cast<int>(ylo); y < static_cast<int>(yhi); ++y) {
+          for (int x = 0; x < w; ++x) {
+            if (ref_mask(x, y) == 0) continue;
+            ++partial.total;
+            bool hit = false;
+            for (int dy = -tolerance; dy <= tolerance && !hit; ++dy) {
+              const int ny = y + dy;
+              if (ny < 0 || ny >= h) continue;
+              for (int dx = -tolerance; dx <= tolerance; ++dx) {
+                const int nx = x + dx;
+                if (nx < 0 || nx >= w) continue;
+                if (cand_mask(nx, ny) != 0) {
+                  hit = true;
+                  break;
+                }
+              }
+            }
+            if (hit) ++partial.matched;
           }
         }
-      }
-      if (hit) ++matched;
-    }
-  }
-  return total == 0 ? 1.0
-                    : static_cast<double>(matched) / static_cast<double>(total);
+      },
+      [](MatchPartial& into, MatchPartial&& from) {
+        into.total += from.total;
+        into.matched += from.matched;
+      });
+  return result.total == 0 ? 1.0
+                           : static_cast<double>(result.matched) /
+                                 static_cast<double>(result.total);
 }
 
 }  // namespace
@@ -149,24 +201,49 @@ double boundary_precision(const LabelImage& superpixels,
 
 double compactness(const LabelImage& superpixels) {
   const int n = max_label(superpixels) + 1;
-  std::vector<std::int64_t> area(static_cast<std::size_t>(n), 0);
-  std::vector<std::int64_t> perimeter(static_cast<std::size_t>(n), 0);
   const int w = superpixels.width();
   const int h = superpixels.height();
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      const std::int32_t label = superpixels(x, y);
-      area[static_cast<std::size_t>(label)] += 1;
-      // 4-connected perimeter; image border counts as boundary.
-      const auto differs = [&](int nx, int ny) {
-        return nx < 0 || nx >= w || ny < 0 || ny >= h ||
-               superpixels(nx, ny) != label;
-      };
-      perimeter[static_cast<std::size_t>(label)] +=
-          static_cast<int>(differs(x - 1, y)) + static_cast<int>(differs(x + 1, y)) +
-          static_cast<int>(differs(x, y - 1)) + static_cast<int>(differs(x, y + 1));
-    }
-  }
+  // Row-parallel integer histograms (reads may cross band borders, writes
+  // are chunk-local); integer merge is order-free.
+  struct AreaPerimeter {
+    std::vector<std::int64_t> area;
+    std::vector<std::int64_t> perimeter;
+  };
+  AreaPerimeter acc = parallel_reduce<AreaPerimeter>(
+      0, h,
+      [&](AreaPerimeter& partial, std::int64_t ylo, std::int64_t yhi) {
+        partial.area.assign(static_cast<std::size_t>(n), 0);
+        partial.perimeter.assign(static_cast<std::size_t>(n), 0);
+        for (int y = static_cast<int>(ylo); y < static_cast<int>(yhi); ++y) {
+          for (int x = 0; x < w; ++x) {
+            const std::int32_t label = superpixels(x, y);
+            partial.area[static_cast<std::size_t>(label)] += 1;
+            // 4-connected perimeter; image border counts as boundary.
+            const auto differs = [&](int nx, int ny) {
+              return nx < 0 || nx >= w || ny < 0 || ny >= h ||
+                     superpixels(nx, ny) != label;
+            };
+            partial.perimeter[static_cast<std::size_t>(label)] +=
+                static_cast<int>(differs(x - 1, y)) +
+                static_cast<int>(differs(x + 1, y)) +
+                static_cast<int>(differs(x, y - 1)) +
+                static_cast<int>(differs(x, y + 1));
+          }
+        }
+      },
+      [](AreaPerimeter& into, AreaPerimeter&& from) {
+        if (from.area.empty()) return;
+        if (into.area.empty()) {
+          into = std::move(from);
+          return;
+        }
+        for (std::size_t i = 0; i < into.area.size(); ++i) {
+          into.area[i] += from.area[i];
+          into.perimeter[i] += from.perimeter[i];
+        }
+      });
+  const std::vector<std::int64_t>& area = acc.area;
+  const std::vector<std::int64_t>& perimeter = acc.perimeter;
   constexpr double kPi = 3.14159265358979323846;
   double sum = 0.0;
   int counted = 0;
@@ -189,39 +266,82 @@ double explained_variation(const LabelImage& superpixels, const LabImage& lab) {
     double L = 0, a = 0, b = 0;
     std::int64_t n = 0;
   };
-  std::vector<Acc> acc(static_cast<std::size_t>(n_labels));
-  Acc global;
-  for (std::size_t i = 0; i < lab.size(); ++i) {
-    const LabF& px = lab.pixels()[i];
-    Acc& s = acc[static_cast<std::size_t>(superpixels.pixels()[i])];
-    s.L += static_cast<double>(px.L);
-    s.a += static_cast<double>(px.a);
-    s.b += static_cast<double>(px.b);
-    s.n += 1;
-    global.L += static_cast<double>(px.L);
-    global.a += static_cast<double>(px.a);
-    global.b += static_cast<double>(px.b);
-    global.n += 1;
-  }
-  const double gl = global.L / static_cast<double>(global.n);
-  const double ga = global.a / static_cast<double>(global.n);
-  const double gb = global.b / static_cast<double>(global.n);
+  // Both passes are chunk-parallel with partials merged in fixed chunk
+  // order: the floating-point reduction tree depends only on the pixel
+  // count, so the metric is bit-identical at every thread count.
+  struct MeanPartial {
+    std::vector<Acc> per_label;
+    Acc global;
+  };
+  MeanPartial means = parallel_reduce<MeanPartial>(
+      0, static_cast<std::int64_t>(lab.size()),
+      [&](MeanPartial& partial, std::int64_t lo, std::int64_t hi) {
+        partial.per_label.assign(static_cast<std::size_t>(n_labels), Acc{});
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          const LabF& px = lab.pixels()[idx];
+          Acc& s = partial.per_label[static_cast<std::size_t>(
+              superpixels.pixels()[idx])];
+          s.L += static_cast<double>(px.L);
+          s.a += static_cast<double>(px.a);
+          s.b += static_cast<double>(px.b);
+          s.n += 1;
+          partial.global.L += static_cast<double>(px.L);
+          partial.global.a += static_cast<double>(px.a);
+          partial.global.b += static_cast<double>(px.b);
+          partial.global.n += 1;
+        }
+      },
+      [](MeanPartial& into, MeanPartial&& from) {
+        if (from.per_label.empty()) return;
+        if (into.per_label.empty()) {
+          into = std::move(from);
+          return;
+        }
+        for (std::size_t i = 0; i < into.per_label.size(); ++i) {
+          into.per_label[i].L += from.per_label[i].L;
+          into.per_label[i].a += from.per_label[i].a;
+          into.per_label[i].b += from.per_label[i].b;
+          into.per_label[i].n += from.per_label[i].n;
+        }
+        into.global.L += from.global.L;
+        into.global.a += from.global.a;
+        into.global.b += from.global.b;
+        into.global.n += from.global.n;
+      });
+  const std::vector<Acc>& acc = means.per_label;
+  const double gl = means.global.L / static_cast<double>(means.global.n);
+  const double ga = means.global.a / static_cast<double>(means.global.n);
+  const double gb = means.global.b / static_cast<double>(means.global.n);
 
-  double between = 0.0;  // variance of the superpixel means
-  double total = 0.0;    // total variance
-  for (std::size_t i = 0; i < lab.size(); ++i) {
-    const LabF& px = lab.pixels()[i];
-    const Acc& s = acc[static_cast<std::size_t>(superpixels.pixels()[i])];
-    const double ml = s.L / static_cast<double>(s.n);
-    const double ma = s.a / static_cast<double>(s.n);
-    const double mb = s.b / static_cast<double>(s.n);
-    between += (ml - gl) * (ml - gl) + (ma - ga) * (ma - ga) + (mb - gb) * (mb - gb);
-    const double dl = static_cast<double>(px.L) - gl;
-    const double da = static_cast<double>(px.a) - ga;
-    const double db = static_cast<double>(px.b) - gb;
-    total += dl * dl + da * da + db * db;
-  }
-  return total <= 0.0 ? 1.0 : between / total;
+  struct VarPartial {
+    double between = 0.0;  // variance of the superpixel means
+    double total = 0.0;    // total variance
+  };
+  const VarPartial var = parallel_reduce<VarPartial>(
+      0, static_cast<std::int64_t>(lab.size()),
+      [&](VarPartial& partial, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          const LabF& px = lab.pixels()[idx];
+          const Acc& s =
+              acc[static_cast<std::size_t>(superpixels.pixels()[idx])];
+          const double ml = s.L / static_cast<double>(s.n);
+          const double ma = s.a / static_cast<double>(s.n);
+          const double mb = s.b / static_cast<double>(s.n);
+          partial.between += (ml - gl) * (ml - gl) + (ma - ga) * (ma - ga) +
+                             (mb - gb) * (mb - gb);
+          const double dl = static_cast<double>(px.L) - gl;
+          const double da = static_cast<double>(px.a) - ga;
+          const double db = static_cast<double>(px.b) - gb;
+          partial.total += dl * dl + da * da + db * db;
+        }
+      },
+      [](VarPartial& into, VarPartial&& from) {
+        into.between += from.between;
+        into.total += from.total;
+      });
+  return var.total <= 0.0 ? 1.0 : var.between / var.total;
 }
 
 double contour_density(const LabelImage& superpixels) {
@@ -285,16 +405,34 @@ MultiGroundTruthQuality evaluate_against_annotators(
   q.annotators = static_cast<int>(truths.size());
   q.use_best = std::numeric_limits<double>::max();
   q.recall_best = 0.0;
-  for (const LabelImage& truth : truths) {
-    const OverlapTable table(superpixels, truth);
-    const double use = undersegmentation_error(table);
-    const double recall = boundary_recall(superpixels, truth, boundary_tolerance);
-    q.use_mean += use;
-    q.use_min_mean += undersegmentation_error_min(table);
-    q.recall_mean += recall;
-    q.asa_mean += achievable_segmentation_accuracy(table);
-    q.use_best = std::min(q.use_best, use);
-    q.recall_best = std::max(q.recall_best, recall);
+  // Annotators are independent, so each ground truth is scored in parallel
+  // (the per-truth metrics fall back to serial when called from a worker);
+  // results land in per-truth slots and are folded in annotator order, so
+  // the means are bit-identical to a serial evaluation.
+  struct TruthScore {
+    double use = 0.0, use_min = 0.0, recall = 0.0, asa = 0.0;
+  };
+  std::vector<TruthScore> scores(truths.size());
+  parallel_for(0, static_cast<std::int64_t>(truths.size()),
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const auto idx = static_cast<std::size_t>(i);
+                   const LabelImage& truth = truths[idx];
+                   const OverlapTable table(superpixels, truth);
+                   scores[idx].use = undersegmentation_error(table);
+                   scores[idx].use_min = undersegmentation_error_min(table);
+                   scores[idx].recall =
+                       boundary_recall(superpixels, truth, boundary_tolerance);
+                   scores[idx].asa = achievable_segmentation_accuracy(table);
+                 }
+               });
+  for (const TruthScore& s : scores) {
+    q.use_mean += s.use;
+    q.use_min_mean += s.use_min;
+    q.recall_mean += s.recall;
+    q.asa_mean += s.asa;
+    q.use_best = std::min(q.use_best, s.use);
+    q.recall_best = std::max(q.recall_best, s.recall);
   }
   const auto n = static_cast<double>(truths.size());
   q.use_mean /= n;

@@ -132,6 +132,10 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
         st.dram_index_write += tile_pixels;
         st.dram_center_read += 9 * 8;
 
+        // Visited-pixel counting is hoisted out of the pixel loop: one
+        // register-resident tile counter, added back per tile, keeps the
+        // totals exact without taxing the datapath's inner loop.
+        std::uint64_t tile_visited = 0;
         for (int y = y0; y < y1; ++y) {
           for (int x = x0; x < x1; ++x) {
             if (!schedule.active(x, y, iter)) continue;
@@ -161,10 +165,11 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
             s.x += x;
             s.y += y;
             s.count += 1;
-            st.pixels_visited += 1;
-            iter_stats.pixels_visited += 1;
+            tile_visited += 1;
           }
         }
+        st.pixels_visited += tile_visited;
+        iter_stats.pixels_visited += tile_visited;
       }
     }
 

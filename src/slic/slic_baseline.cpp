@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "slic/center_update.h"
 #include "slic/connectivity.h"
 #include "slic/distance.h"
@@ -13,6 +14,22 @@
 #include "slic/subset_schedule.h"
 
 namespace sslic {
+namespace {
+
+/// Clamped 2Sx2S scan rectangle of one center.
+struct ScanWindow {
+  int x0 = 0;
+  int x1 = -1;
+  int y0 = 0;
+  int y1 = -1;
+
+  [[nodiscard]] std::uint64_t pixels() const {
+    return static_cast<std::uint64_t>(x1 - x0 + 1) *
+           static_cast<std::uint64_t>(y1 - y0 + 1);
+  }
+};
+
+}  // namespace
 
 CpaSlic::CpaSlic(SlicParams params) : params_(params) {
   SSLIC_CHECK(params_.num_superpixels >= 1);
@@ -63,20 +80,26 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
   const bool subsampled = schedule.count() > 1;
   if (subsampled) {
     // Subsampled CPA keeps the buffer across iterations, so it must start
-    // with the distance to the initially-assigned center.
-    for (int y = 0; y < h; ++y) {
-      for (int x = 0; x < w; ++x) {
-        const auto label = static_cast<std::size_t>(result.labels(x, y));
-        min_dist[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
-                 static_cast<std::size_t>(x)] =
-            dist.squared(lab(x, y), x, y, result.centers[label]);
+    // with the distance to the initially-assigned center. Row-parallel:
+    // every pixel is independent.
+    const std::int32_t* labels_ptr = result.labels.pixels().data();
+    parallel_for(0, h, [&](std::int64_t ylo, std::int64_t yhi) {
+      for (int y = static_cast<int>(ylo); y < static_cast<int>(yhi); ++y) {
+        for (int x = 0; x < w; ++x) {
+          const std::size_t flat =
+              static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+              static_cast<std::size_t>(x);
+          const auto label = static_cast<std::size_t>(labels_ptr[flat]);
+          min_dist[flat] = dist.squared(lab(x, y), x, y, result.centers[label]);
+        }
       }
-    }
+    });
     instr.ops.distance_evals += n;
   }
 
   std::vector<Sigma> sigmas(static_cast<std::size_t>(num_centers));
   std::vector<std::uint8_t> active(static_cast<std::size_t>(num_centers), 1);
+  std::vector<ScanWindow> windows(static_cast<std::size_t>(num_centers));
   if (phases != nullptr) phases->add(kPhaseOther, init_watch.elapsed_ms());
 
   // 2S x 2S search rectangle centred on each SP (paper Section 2): +/- S.
@@ -91,10 +114,21 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
     // --- Assignment: scan each active center's 2Sx2S window. ---
     Stopwatch assign_watch;
     if (!subsampled) {
-      std::fill(min_dist.begin(), min_dist.end(),
-                std::numeric_limits<double>::infinity());
+      parallel_for(0, static_cast<std::int64_t>(n),
+                   [&](std::int64_t lo, std::int64_t hi) {
+                     std::fill(min_dist.begin() + lo, min_dist.begin() + hi,
+                               std::numeric_limits<double>::infinity());
+                   });
       instr.traffic.distance_write += n * MemTraffic::kDistanceBytes;
     }
+
+    // Serial prelude over the K centers: activity flags, clamped windows,
+    // and the full instrumentation for this iteration. Op/traffic counts
+    // are derived analytically from the window geometry — (x1-x0+1)*
+    // (y1-y0+1) pixels per window under the streaming-writeback convention
+    // (see instrumentation.h) — so the hot loop below carries no counter
+    // updates at all, and the totals stay exact regardless of how the rows
+    // are split across worker threads.
     const int active_subset = schedule.active_subset(iter);
     for (std::size_t ci = 0; ci < result.centers.size(); ++ci) {
       const bool is_active =
@@ -105,46 +139,87 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
       const ClusterCenter& c = result.centers[ci];
       const int cx = static_cast<int>(std::lround(c.x));
       const int cy = static_cast<int>(std::lround(c.y));
-      const int x0 = std::max(0, cx - window);
-      const int x1 = std::min(w - 1, cx + window);
-      const int y0 = std::max(0, cy - window);
-      const int y1 = std::min(h - 1, cy + window);
-      instr.traffic.center_read += MemTraffic::kCenterBytes;
+      ScanWindow& win = windows[ci];
+      win.x0 = std::max(0, cx - window);
+      win.x1 = std::min(w - 1, cx + window);
+      win.y0 = std::max(0, cy - window);
+      win.y1 = std::min(h - 1, cy + window);
 
-      for (int y = y0; y <= y1; ++y) {
-        const std::size_t row = static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-        for (int x = x0; x <= x1; ++x) {
-          const double d = dist.squared(lab(x, y), x, y, c);
-          const std::size_t flat = row + static_cast<std::size_t>(x);
-          instr.ops.distance_evals += 1;
-          instr.ops.compare_ops += 1;
-          // Streaming-writeback convention: the distance/label lines of
-          // every visited pixel are written back whether or not the value
-          // improved (see instrumentation.h).
-          instr.traffic.image_read += MemTraffic::kLabBytes;
-          instr.traffic.distance_read += MemTraffic::kDistanceBytes;
-          instr.traffic.distance_write += MemTraffic::kDistanceBytes;
-          instr.traffic.label_write += MemTraffic::kLabelBytes;
-          if (d < min_dist[flat]) {
-            min_dist[flat] = d;
-            result.labels.pixels()[flat] = static_cast<std::int32_t>(ci);
+      const std::uint64_t wpix = win.pixels();
+      instr.traffic.center_read += MemTraffic::kCenterBytes;
+      instr.ops.distance_evals += wpix;
+      instr.ops.compare_ops += wpix;
+      instr.traffic.image_read += wpix * MemTraffic::kLabBytes;
+      instr.traffic.distance_read += wpix * MemTraffic::kDistanceBytes;
+      instr.traffic.distance_write += wpix * MemTraffic::kDistanceBytes;
+      instr.traffic.label_write += wpix * MemTraffic::kLabelBytes;
+      stats.pixels_visited += wpix;
+    }
+
+    // Row-band tiling: each band owns a disjoint range of rows and scans
+    // the row-intersection of every active window with its band. A pixel
+    // is owned by exactly one band and sees its candidate centers in the
+    // same ascending-index order as the serial loop, so labels (including
+    // tie-breaks, which favour the lower index) are identical for every
+    // band partition and thread count. No locks or atomics are needed on
+    // the pixel arrays.
+    std::int32_t* labels_ptr = result.labels.pixels().data();
+    parallel_for(0, h, [&](std::int64_t ylo, std::int64_t yhi) {
+      for (std::size_t ci = 0; ci < result.centers.size(); ++ci) {
+        if (active[ci] == 0) continue;
+        const ScanWindow& win = windows[ci];
+        const int y0 = std::max(win.y0, static_cast<int>(ylo));
+        const int y1 = std::min(win.y1, static_cast<int>(yhi) - 1);
+        if (y0 > y1) continue;
+        const ClusterCenter& c = result.centers[ci];
+        for (int y = y0; y <= y1; ++y) {
+          const std::size_t row =
+              static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+          for (int x = win.x0; x <= win.x1; ++x) {
+            const double d = dist.squared(lab(x, y), x, y, c);
+            const std::size_t flat = row + static_cast<std::size_t>(x);
+            if (d < min_dist[flat]) {
+              min_dist[flat] = d;
+              labels_ptr[flat] = static_cast<std::int32_t>(ci);
+            }
           }
         }
       }
-      stats.pixels_visited += static_cast<std::size_t>(x1 - x0 + 1) *
-                              static_cast<std::size_t>(y1 - y0 + 1);
-    }
+    });
     if (phases != nullptr) phases->add(kPhaseDistanceMin, assign_watch.elapsed_ms());
 
     // --- Center update: full sigma pass, then divide. ---
+    // Per-band sigma accumulators merged in ascending band order. The band
+    // boundaries depend only on the image height (parallel_reduce uses a
+    // fixed chunk budget), so the floating-point reduction tree — and hence
+    // every center, bit for bit — is the same at any thread count.
     Stopwatch update_watch;
-    for (auto& s : sigmas) s.clear();
-    for (int y = 0; y < h; ++y) {
-      for (int x = 0; x < w; ++x) {
-        const auto label = static_cast<std::size_t>(result.labels(x, y));
-        sigmas[label].add(lab(x, y), x, y);
-      }
-    }
+    sigmas = parallel_reduce<std::vector<Sigma>>(
+        0, h,
+        [&](std::vector<Sigma>& partial, std::int64_t ylo, std::int64_t yhi) {
+          partial.assign(static_cast<std::size_t>(num_centers), Sigma{});
+          for (int y = static_cast<int>(ylo); y < static_cast<int>(yhi); ++y) {
+            for (int x = 0; x < w; ++x) {
+              const auto label = static_cast<std::size_t>(result.labels(x, y));
+              partial[label].add(lab(x, y), x, y);
+            }
+          }
+        },
+        [&](std::vector<Sigma>& into, std::vector<Sigma>&& from) {
+          if (from.empty()) return;
+          if (into.empty()) {
+            into = std::move(from);
+            return;
+          }
+          for (std::size_t i = 0; i < into.size(); ++i) {
+            into[i].L += from[i].L;
+            into[i].a += from[i].a;
+            into[i].b += from[i].b;
+            into[i].x += from[i].x;
+            into[i].y += from[i].y;
+            into[i].count += from[i].count;
+          }
+        });
     instr.ops.accumulate_ops += 6 * n;
     instr.traffic.image_read += n * MemTraffic::kLabBytes;
     instr.traffic.label_read += n * MemTraffic::kLabelBytes;

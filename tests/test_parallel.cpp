@@ -1,0 +1,172 @@
+// Tests for the multithreaded execution layer (thread pool, parallel_for,
+// parallel_reduce) and the determinism contract of the parallelized SLIC
+// paths: results must be bit-identical at every thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dataset/synthetic.h"
+#include "slic/slic_baseline.h"
+#include "slic/types.h"
+
+namespace sslic {
+namespace {
+
+/// Restores the global pool to the environment default on scope exit so
+/// tests cannot leak a thread-count override into each other.
+struct GlobalThreadsGuard {
+  ~GlobalThreadsGuard() { ThreadPool::set_global_threads(0); }
+};
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  GlobalThreadsGuard guard;
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kChunks = 97;
+    std::vector<std::atomic<int>> hits(kChunks);
+    pool.run_chunks(kChunks, [&](std::size_t c) {
+      hits[c].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t c = 0; c < kChunks; ++c)
+      EXPECT_EQ(hits[c].load(), 1) << "chunk " << c << ", threads " << threads;
+  }
+}
+
+TEST(ThreadPool, EmptyJobIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.run_chunks(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_chunks(32,
+                               [&](std::size_t c) {
+                                 if (c == 7) throw std::runtime_error("chunk 7");
+                               }),
+               std::runtime_error);
+
+  // The pool must be fully quiescent and reusable after a failed job.
+  std::atomic<int> total{0};
+  pool.run_chunks(32, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, NestedCallsDegradeToSerial) {
+  GlobalThreadsGuard guard;
+  ThreadPool::set_global_threads(4);
+  std::atomic<std::int64_t> total{0};
+  parallel_for(0, 64, [&](std::int64_t lo, std::int64_t hi) {
+    // Nested parallel primitives must run inline instead of deadlocking
+    // against the in-flight outer job.
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    parallel_for(lo, hi, [&](std::int64_t ilo, std::int64_t ihi) {
+      total.fetch_add(ihi - ilo, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  GlobalThreadsGuard guard;
+  for (const int threads : {1, 3, 8}) {
+    ThreadPool::set_global_threads(threads);
+    constexpr std::int64_t kN = 10007;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(0, kN, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i)
+        hits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+    });
+    std::int64_t total = 0;
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+      total += h.load();
+    }
+    EXPECT_EQ(total, kN);
+  }
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  GlobalThreadsGuard guard;
+  // A floating-point sum whose value depends on association order: if the
+  // chunk structure or merge order varied with the thread count, the totals
+  // would drift.
+  const auto sum_under = [](int threads) {
+    ThreadPool::set_global_threads(threads);
+    return parallel_reduce<double>(
+        1, 200000,
+        [](double& partial, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i)
+            partial += 1.0 / static_cast<double>(i * i);
+        },
+        [](double& into, double from) { into += from; });
+  };
+  const double serial = sum_under(1);
+  for (const int threads : {2, 4, 8}) {
+    const double parallel = sum_under(threads);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+struct SegCase {
+  std::uint64_t seed;
+  double ratio;  // 1.0 = full SLIC, < 1 = subsampled CPA
+};
+
+TEST(Determinism, SlicLabelsAndCentersMatchSerial) {
+  GlobalThreadsGuard guard;
+  SyntheticParams scene;
+  scene.width = 96;
+  scene.height = 64;
+  scene.min_regions = 4;
+  scene.max_regions = 8;
+
+  const SegCase cases[] = {{11, 1.0}, {12, 1.0}, {13, 1.0},
+                           {11, 0.5}, {12, 0.5}, {13, 0.5}};
+  for (const SegCase& c : cases) {
+    const GroundTruthImage gt = generate_synthetic(scene, c.seed);
+
+    SlicParams params;
+    params.num_superpixels = 40;
+    params.subsample_ratio = c.ratio;
+    const CpaSlic slic(params);
+
+    ThreadPool::set_global_threads(1);
+    const Segmentation serial = slic.segment(gt.image);
+    ThreadPool::set_global_threads(8);
+    const Segmentation parallel = slic.segment(gt.image);
+
+    EXPECT_EQ(serial.labels.pixels(), parallel.labels.pixels())
+        << "seed=" << c.seed << " ratio=" << c.ratio;
+    EXPECT_EQ(serial.centers, parallel.centers)
+        << "seed=" << c.seed << " ratio=" << c.ratio;
+  }
+}
+
+TEST(Determinism, SyntheticGeneratorMatchesSerial) {
+  GlobalThreadsGuard guard;
+  SyntheticParams scene;
+  scene.width = 96;
+  scene.height = 64;
+
+  ThreadPool::set_global_threads(1);
+  const GroundTruthImage serial = generate_synthetic(scene, 99);
+  ThreadPool::set_global_threads(8);
+  const GroundTruthImage parallel = generate_synthetic(scene, 99);
+
+  EXPECT_EQ(serial.truth.pixels(), parallel.truth.pixels());
+  EXPECT_EQ(serial.image.pixels(), parallel.image.pixels());
+  EXPECT_EQ(serial.num_regions, parallel.num_regions);
+}
+
+}  // namespace
+}  // namespace sslic
