@@ -9,6 +9,7 @@
 // so the reproduction can be eyeballed directly.
 #pragma once
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -166,12 +167,32 @@ class Json {
     std::string out;
     out.reserve(s.size());
     for (const char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (c == '\n') {
-        out += "\\n";
-        continue;
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
       }
-      out.push_back(c);
     }
     return out;
   }

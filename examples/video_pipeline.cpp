@@ -62,6 +62,15 @@ double label_agreement(const LabelImage& a, const LabelImage& b) {
   return static_cast<double>(agree) / static_cast<double>(total);
 }
 
+/// Joins a thread on scope exit so an exception thrown while the thread is
+/// running unwinds safely instead of hitting std::terminate in ~thread.
+struct ThreadJoiner {
+  std::thread& thread;
+  ~ThreadJoiner() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,6 +195,7 @@ int main(int argc, char** argv) {
     for (std::size_t f = 0; f < stream.size(); ++f) {
       LabImage next;
       std::thread prefetch;
+      const ThreadJoiner prefetch_guard{prefetch};
       if (f + 1 < stream.size())
         prefetch = std::thread([&] { next = srgb_to_lab(stream[f + 1]); });
       const Segmentation seg = sw.segment_lab(current);

@@ -92,8 +92,10 @@ struct ThreadPool::Impl {
         const std::lock_guard<std::mutex> lock(mutex);
         done_chunks += completed;
         busy_workers -= 1;
-        if (busy_workers == 0 && done_chunks == num_chunks)
-          work_done.notify_one();
+        // Notify whenever the last worker leaves drain(): the caller waits
+        // for job completion, and the *next* run_chunks waits for stragglers
+        // before recycling the job state — both key off busy_workers == 0.
+        if (busy_workers == 0) work_done.notify_all();
       }
     }
   }
@@ -137,7 +139,19 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(impl.mutex);
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    // Late-waker guard: a worker that slept through the previous job can
+    // still satisfy its wake predicate (generation advanced past what it
+    // last saw), increment busy_workers, and enter drain() *after* that
+    // job's caller has already returned. Its drain() exits immediately —
+    // the old chunk counter is exhausted — but until it leaves, the job
+    // state it reads must not be recycled, or it could claim chunks of the
+    // new job against stale bounds (double-running chunks and overshooting
+    // done_chunks). Wait for every straggler to leave before resetting.
+    // Wake predicate and busy_workers increment share one critical section
+    // with this reset, so a worker either drains before the reset or
+    // observes the fully initialized new job.
+    impl.work_done.wait(lock, [&] { return impl.busy_workers == 0; });
     impl.fn = &fn;
     impl.num_chunks = num_chunks;
     impl.next_chunk.store(0, std::memory_order_relaxed);
@@ -154,8 +168,10 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
   {
     std::unique_lock<std::mutex> lock(impl.mutex);
     impl.done_chunks += completed;
+    // >= rather than == as defense in depth: an overshot counter must never
+    // turn a completed job into a hang.
     impl.work_done.wait(lock, [&] {
-      return impl.done_chunks == num_chunks && impl.busy_workers == 0;
+      return impl.done_chunks >= num_chunks && impl.busy_workers == 0;
     });
     impl.fn = nullptr;
     if (impl.exception != nullptr) {
@@ -198,6 +214,18 @@ void ThreadPool::set_global_threads(int threads) {
   SSLIC_CHECK_MSG(!t_in_parallel,
                   "set_global_threads called from inside a parallel region");
   const std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (g_global_pool != nullptr && g_global_pool->impl_ != nullptr) {
+    // Destroying the live pool invalidates references other threads got
+    // from global(). t_in_parallel only covers the calling thread, so also
+    // require that no job is in flight anywhere: job_mutex is held for a
+    // job's whole duration, making try_lock a reliable in-flight probe.
+    // (Best effort — callers must still resize only at quiescent points,
+    // e.g. CLI parsing before any concurrent pool use.)
+    const std::unique_lock<std::mutex> in_flight(
+        g_global_pool->impl_->job_mutex, std::try_to_lock);
+    SSLIC_CHECK_MSG(in_flight.owns_lock(),
+                    "set_global_threads called while a pool job is in flight");
+  }
   g_global_pool =
       std::make_unique<ThreadPool>(threads <= 0 ? default_threads() : threads);
 }

@@ -57,9 +57,12 @@ class ThreadPool {
   /// The process-wide pool used by `parallel_for` / `parallel_reduce`.
   static ThreadPool& global();
 
-  /// Resizes the global pool (e.g. from a `--threads` flag). Must not be
-  /// called while a parallel region is running. `threads <= 0` restores the
-  /// default (`SSLIC_THREADS` env or hardware concurrency).
+  /// Resizes the global pool (e.g. from a `--threads` flag). Destroys the
+  /// previous pool, so it must only be called at quiescent points — before
+  /// any other thread uses (or holds a reference from) `global()`; asserts
+  /// that no parallel region is running on this thread and that no pool job
+  /// is in flight. `threads <= 0` restores the default (`SSLIC_THREADS` env
+  /// or hardware concurrency).
   static void set_global_threads(int threads);
 
   /// Thread count the global pool would use if created now.

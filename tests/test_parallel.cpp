@@ -37,6 +37,23 @@ TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
   }
 }
 
+TEST(ThreadPool, BackToBackTinyJobsTolerateLateWakers) {
+  // Regression test for a late-waker race: a worker that slept through a
+  // completed job could satisfy its wake predicate late, enter drain()
+  // concurrently with the next run_chunks call's state reset, double-run a
+  // chunk, and overshoot done_chunks so the caller hung. Rapid tiny jobs
+  // maximize the window — the caller usually drains both chunks itself
+  // before any worker wakes, so stragglers arrive during later jobs.
+  ThreadPool pool(8);
+  for (int job = 0; job < 2000; ++job) {
+    std::atomic<int> total{0};
+    pool.run_chunks(2, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(total.load(), 2) << "job " << job;
+  }
+}
+
 TEST(ThreadPool, EmptyJobIsANoOp) {
   ThreadPool pool(4);
   bool ran = false;
