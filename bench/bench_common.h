@@ -10,20 +10,24 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "dataset/synthetic.h"
 #include "metrics/segmentation_metrics.h"
+#include "slic/assign_kernels.h"
 #include "slic/segmenter.h"
 
 namespace sslic::bench {
@@ -42,7 +46,9 @@ struct BenchConfig {
 
   /// Parses the common flags. As a side effect, `--threads=N` (or the
   /// `SSLIC_THREADS` environment variable when the flag is absent) resizes
-  /// the global thread pool for the whole bench run.
+  /// the global thread pool, and `--simd=scalar|sse2|avx2|neon` (or the
+  /// `SSLIC_SIMD` environment variable) selects the assignment-kernel ISA
+  /// for the whole bench run.
   static BenchConfig parse(int argc, const char* const* argv) {
     const CliArgs args(argc, argv);
     BenchConfig config;
@@ -57,6 +63,12 @@ struct BenchConfig {
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1000));
     ThreadPool::set_global_threads(config.threads);
     config.threads = ThreadPool::global().threads();
+    const std::string simd_request = args.get_string("simd", "");
+    if (!simd_request.empty() && !simd::set_preferred_isa(simd_request)) {
+      std::cerr << "unknown --simd value '" << simd_request
+                << "' (expected scalar|sse2|avx2|neon)\n";
+      std::exit(2);
+    }
     return config;
   }
 
@@ -76,6 +88,19 @@ struct BenchConfig {
   }
 };
 
+/// The CPU model string from /proc/cpuinfo ("unknown" when unavailable).
+inline std::string cpu_model_name() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.rfind("model name", 0) == 0)
+      return line.substr(line.find_first_not_of(" \t", colon + 1));
+  }
+  return "unknown";
+}
+
 /// Prints the standard bench banner.
 inline void banner(const std::string& title, const BenchConfig& config) {
   std::cout << "==================================================================\n"
@@ -83,7 +108,7 @@ inline void banner(const std::string& title, const BenchConfig& config) {
             << "workload: " << config.images << " synthetic Berkeley-like images, "
             << config.width << 'x' << config.height << ", K=" << config.superpixels
             << ", m=" << config.compactness << ", threads=" << config.threads
-            << '\n'
+            << ", simd=" << simd::isa_name(kernels::active_isa()) << '\n'
             << "(see DESIGN.md §1 for the BSDS substitution; --images=N to scale)\n"
             << "==================================================================\n";
 }
@@ -204,6 +229,24 @@ class Json {
   std::vector<std::pair<std::string, std::shared_ptr<Json>>> members_;
   std::vector<std::shared_ptr<Json>> elements_;
 };
+
+/// Standard machine-description block for BENCH_*.json artifacts: CPU
+/// model, hardware thread count, and the assignment-kernel ISA actually
+/// selected (after env/flag override and CPU/binary clamping).
+inline Json machine_json() {
+  Json backends = Json::array();
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse2,
+                              simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (kernels::backend_compiled(isa) && simd::cpu_supports(isa))
+      backends.push(simd::isa_name(isa));
+  }
+  return Json::object()
+      .set("cpu_model", cpu_model_name())
+      .set("hardware_threads",
+           static_cast<int>(std::thread::hardware_concurrency()))
+      .set("simd_isa_selected", simd::isa_name(kernels::active_isa()))
+      .set("simd_isas_available", std::move(backends));
+}
 
 /// Quality metrics of one segmentation against ground truth.
 struct Quality {

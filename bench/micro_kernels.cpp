@@ -1,15 +1,20 @@
 // google-benchmark microbenchmarks of the hot kernels: color conversion
 // (reference float and LUT integer), the 9-way distance + 9:1 minimum inner
-// loop, full algorithm iterations, the quality metrics, and connectivity
-// enforcement.
+// loop, the SIMD assignment row kernels per backend, full algorithm
+// iterations, the quality metrics, and connectivity enforcement.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <limits>
 #include <vector>
 
 #include "color/color_convert.h"
 #include "color/lut_color_unit.h"
+#include "common/rng.h"
+#include "common/simd.h"
 #include "dataset/synthetic.h"
 #include "metrics/segmentation_metrics.h"
+#include "slic/assign_kernels.h"
 #include "slic/connectivity.h"
 #include "slic/hw_datapath.h"
 #include "slic/slic_baseline.h"
@@ -73,6 +78,119 @@ void BM_NineWayIntegerDistanceMin(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_NineWayIntegerDistanceMin);
+
+/// Registers one Arg per ISA this binary + CPU can execute (scalar always);
+/// the per-run label names the backend.
+void SimdIsaArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(static_cast<int>(simd::Isa::kScalar));
+  for (const simd::Isa isa :
+       {simd::Isa::kSse2, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (kernels::backend_compiled(isa) && simd::cpu_supports(isa))
+      b->Arg(static_cast<int>(isa));
+  }
+}
+
+/// Fixed row workload shared by the SIMD kernel benchmarks (one 481-px
+/// BSDS-width row, 9 candidates).
+struct KernelRow {
+  static constexpr int kWidth = 481;
+  std::vector<float> L, a, b;
+  std::vector<std::uint8_t> L8, a8, b8;
+  std::vector<double> min_dist;
+  std::vector<std::int32_t> labels;
+  kernels::CenterOperand center{50.0, 5.0, -3.0, 240.0, 160.0, 7};
+  std::array<kernels::CenterOperand, 9> cands{};
+  std::array<kernels::HwCenterOperand, 9> hw_cands{};
+
+  KernelRow() {
+    Rng rng(77);
+    L.resize(kWidth);
+    a.resize(kWidth);
+    b.resize(kWidth);
+    L8.resize(kWidth);
+    a8.resize(kWidth);
+    b8.resize(kWidth);
+    min_dist.assign(kWidth, std::numeric_limits<double>::infinity());
+    labels.assign(kWidth, 0);
+    for (int i = 0; i < kWidth; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      L[idx] = static_cast<float>(rng.next_double(0.0, 100.0));
+      a[idx] = static_cast<float>(rng.next_double(-90.0, 90.0));
+      b[idx] = static_cast<float>(rng.next_double(-90.0, 90.0));
+      L8[idx] = static_cast<std::uint8_t>(rng.next_int(0, 255));
+      a8[idx] = static_cast<std::uint8_t>(rng.next_int(0, 255));
+      b8[idx] = static_cast<std::uint8_t>(rng.next_int(0, 255));
+    }
+    for (int k = 0; k < 9; ++k) {
+      const auto idx = static_cast<std::size_t>(k);
+      cands[idx] = {rng.next_double(0.0, 100.0), rng.next_double(-90.0, 90.0),
+                    rng.next_double(-90.0, 90.0),
+                    rng.next_double(0.0, kWidth),  rng.next_double(0.0, 321.0),
+                    k};
+      hw_cands[idx] = {rng.next_int(0, 255), rng.next_int(0, 255),
+                       rng.next_int(0, 255), rng.next_int(0, kWidth - 1),
+                       rng.next_int(0, 320), k};
+    }
+  }
+};
+
+const KernelRow& kernel_row() {
+  static const KernelRow row;
+  return row;
+}
+
+void BM_SimdAssignCenterRow(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  const kernels::KernelTable& kt = kernels::table_for(isa);
+  const KernelRow& row = kernel_row();
+  std::vector<double> min_dist = row.min_dist;
+  std::vector<std::int32_t> labels = row.labels;
+  for (auto _ : state) {
+    kt.assign_center_row(row.L.data(), row.a.data(), row.b.data(), 0,
+                         KernelRow::kWidth, 160.0, row.center, 0.25,
+                         min_dist.data(), labels.data());
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          KernelRow::kWidth);
+}
+BENCHMARK(BM_SimdAssignCenterRow)->Apply(SimdIsaArgs);
+
+void BM_SimdAssignCandidatesRow(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  const kernels::KernelTable& kt = kernels::table_for(isa);
+  const KernelRow& row = kernel_row();
+  std::vector<double> min_dist = row.min_dist;
+  std::vector<std::int32_t> labels = row.labels;
+  for (auto _ : state) {
+    kt.assign_candidates_row(row.L.data(), row.a.data(), row.b.data(), 0,
+                             KernelRow::kWidth, 160.0, row.cands.data(), 9,
+                             0.25, nullptr, min_dist.data(), labels.data());
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          KernelRow::kWidth);
+}
+BENCHMARK(BM_SimdAssignCandidatesRow)->Apply(SimdIsaArgs);
+
+void BM_SimdAssignCandidatesRowU8(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  const kernels::KernelTable& kt = kernels::table_for(isa);
+  const KernelRow& row = kernel_row();
+  std::vector<std::int32_t> labels = row.labels;
+  for (auto _ : state) {
+    kt.assign_candidates_row_u8(row.L8.data(), row.a8.data(), row.b8.data(),
+                                0, KernelRow::kWidth, 160, row.hw_cands.data(),
+                                9, 64, 8, 6, nullptr, labels.data());
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          KernelRow::kWidth);
+}
+BENCHMARK(BM_SimdAssignCandidatesRowU8)->Apply(SimdIsaArgs);
 
 void BM_PpaIteration(benchmark::State& state) {
   const GroundTruthImage& gt = test_image();

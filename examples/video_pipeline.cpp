@@ -25,6 +25,7 @@
 #include "color/color_convert.h"
 #include "common/cli.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
@@ -81,11 +82,18 @@ int main(int argc, char** argv) {
   const int superpixels = args.get_int("superpixels", 1200);
   const double ratio = args.get_double("ratio", 0.5);
   ThreadPool::set_global_threads(args.get_int("threads", 0));
+  const std::string simd_request = args.get_string("simd", "");
+  if (!simd_request.empty() && !sslic::simd::set_preferred_isa(simd_request)) {
+    std::cerr << "unknown --simd value '" << simd_request
+              << "' (expected scalar|sse2|avx2|neon)\n";
+    return 2;
+  }
 
   std::cout << "segmenting a synthetic " << width << 'x' << height << " stream, "
             << frames << " frames, K=" << superpixels << ", S-SLIC(" << ratio
             << ") golden model, " << ThreadPool::global().threads()
-            << " thread(s)\n\n";
+            << " thread(s), simd=" << sslic::simd::isa_name(sslic::simd::preferred_isa())
+            << "\n\n";
 
   HwConfig config;
   config.num_superpixels = superpixels;

@@ -1,0 +1,138 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace sslic::simd {
+namespace {
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+/// Process-wide preference state. A plain mutex-guarded value: selection
+/// happens at startup / between runs, never on the hot path (callers cache
+/// the resolved kernel table per segmentation run).
+struct Preference {
+  std::mutex mutex;
+  bool overridden = false;
+  Isa value = Isa::kScalar;
+};
+
+Preference& preference_state() {
+  static Preference p;
+  return p;
+}
+
+/// Clamps a requested ISA to what the CPU can execute: on x86 an AVX2
+/// request degrades to SSE2 before scalar; a cross-architecture request
+/// (NEON on x86, SSE/AVX on ARM) degrades straight to scalar.
+Isa clamp_to_cpu(Isa want) {
+  if (cpu_supports(want)) return want;
+  if (want == Isa::kAvx2 && cpu_supports(Isa::kSse2)) return Isa::kSse2;
+  return Isa::kScalar;
+}
+
+Isa env_or_detected() {
+  const char* env = std::getenv("SSLIC_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    Isa parsed = Isa::kScalar;
+    if (parse_isa(env, &parsed)) return parsed;
+  }
+  return detect_cpu_isa();
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+bool parse_isa(const std::string& text, Isa* out) {
+  const std::string name = to_lower(text);
+  if (name == "scalar" || name == "off" || name == "none") {
+    *out = Isa::kScalar;
+  } else if (name == "sse2") {
+    *out = Isa::kSse2;
+  } else if (name == "avx2") {
+    *out = Isa::kAvx2;
+  } else if (name == "neon") {
+    *out = Isa::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Isa detect_cpu_isa() {
+  static const Isa detected = [] {
+#if defined(__aarch64__)
+    return Isa::kNeon;  // Advanced SIMD is baseline on AArch64
+#elif defined(__x86_64__) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+    if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+    if (__builtin_cpu_supports("sse2")) return Isa::kSse2;
+    return Isa::kScalar;
+#else
+    return Isa::kSse2;  // x86-64 baseline
+#endif
+#else
+    return Isa::kScalar;
+#endif
+  }();
+  return detected;
+}
+
+bool cpu_supports(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+  const Isa best = detect_cpu_isa();
+  if (isa == Isa::kNeon) return best == Isa::kNeon;
+  if (best == Isa::kNeon) return false;
+  return static_cast<int>(isa) <= static_cast<int>(best);
+}
+
+Isa preferred_isa() {
+  Preference& p = preference_state();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  if (!p.overridden) {
+    p.value = env_or_detected();
+    p.overridden = true;
+  }
+  return clamp_to_cpu(p.value);
+}
+
+void set_preferred_isa(Isa isa) {
+  Preference& p = preference_state();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  p.overridden = true;
+  p.value = isa;
+}
+
+bool set_preferred_isa(const std::string& text) {
+  Isa parsed = Isa::kScalar;
+  if (!parse_isa(text, &parsed)) return false;
+  set_preferred_isa(parsed);
+  return true;
+}
+
+void reset_preferred_isa() {
+  Preference& p = preference_state();
+  const std::lock_guard<std::mutex> lock(p.mutex);
+  p.overridden = false;
+}
+
+}  // namespace sslic::simd

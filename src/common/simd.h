@@ -1,0 +1,61 @@
+// Portable SIMD instruction-set selection: runtime CPU detection plus a
+// process-wide preference that benches, examples, and tests can override
+// (`SSLIC_SIMD` environment variable or a `--simd=NAME` flag).
+//
+// This header only names instruction sets and resolves which one to *ask*
+// for; the vector kernels themselves live in per-ISA translation units
+// (see slic/assign_kernels.h) compiled with the matching architecture
+// flags, and the kernel dispatcher clamps the preference to the backends
+// that were actually compiled in. Selection is resolved once (first query
+// reads the environment) and is cheap to re-query afterwards.
+#pragma once
+
+#include <string>
+
+namespace sslic::simd {
+
+/// Instruction sets a kernel backend can target. Order encodes x86
+/// preference (kAvx2 over kSse2 over kScalar); kNeon is the ARM lane.
+enum class Isa {
+  kScalar = 0,  ///< plain C++, always available
+  kSse2 = 1,    ///< x86-64 baseline, 2 f64 / 4 i32 lanes
+  kAvx2 = 2,    ///< 4 f64 / 8 i32 lanes
+  kNeon = 3,    ///< AArch64 baseline, 2 f64 / 4 i32 lanes
+};
+
+/// Lower-case name used by `SSLIC_SIMD` / `--simd` ("scalar", "sse2",
+/// "avx2", "neon").
+const char* isa_name(Isa isa);
+
+/// Parses an ISA name (case-insensitive; "off" is an alias for "scalar").
+/// Returns false and leaves `out` untouched on an unknown name.
+bool parse_isa(const std::string& text, Isa* out);
+
+/// Best instruction set the *CPU this process runs on* supports
+/// (independent of what was compiled). Detected once via CPUID (x86) or
+/// the architecture baseline (AArch64), then cached.
+Isa detect_cpu_isa();
+
+/// True when the running CPU can execute `isa` (kScalar always can).
+bool cpu_supports(Isa isa);
+
+/// The ISA the process should use: the `SSLIC_SIMD` environment variable
+/// or the last `set_preferred_isa` call, clamped to what the CPU supports
+/// (an unsupported or cross-architecture request degrades toward
+/// kScalar). Defaults to `detect_cpu_isa()`.
+Isa preferred_isa();
+
+/// Overrides the preference (e.g. from a `--simd=NAME` flag or a test
+/// that pins the scalar path). Clamped to CPU support on the next
+/// `preferred_isa()` query.
+void set_preferred_isa(Isa isa);
+
+/// String-flavoured override; returns false (and changes nothing) when
+/// `text` is not a recognized ISA name.
+bool set_preferred_isa(const std::string& text);
+
+/// Drops any override and re-reads `SSLIC_SIMD` on the next query (used
+/// by tests that sweep backends).
+void reset_preferred_isa();
+
+}  // namespace sslic::simd

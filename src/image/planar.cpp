@@ -1,0 +1,29 @@
+#include "image/planar.h"
+
+#include "common/thread_pool.h"
+
+namespace sslic {
+
+LabPlanes split_lab_planes(const LabImage& lab) {
+  const int w = lab.width();
+  const int h = lab.height();
+  LabPlanes planes(w, h);
+  const LabF* src = lab.data();
+  float* dl = planes.L.data();
+  float* da = planes.a.data();
+  float* db = planes.b.data();
+  parallel_for(0, h, [&](std::int64_t ylo, std::int64_t yhi) {
+    const std::size_t begin =
+        static_cast<std::size_t>(ylo) * static_cast<std::size_t>(w);
+    const std::size_t end =
+        static_cast<std::size_t>(yhi) * static_cast<std::size_t>(w);
+    for (std::size_t i = begin; i < end; ++i) {
+      dl[i] = src[i].L;
+      da[i] = src[i].a;
+      db[i] = src[i].b;
+    }
+  });
+  return planes;
+}
+
+}  // namespace sslic

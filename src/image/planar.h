@@ -1,0 +1,36 @@
+// Structure-of-arrays pixel layouts for the vectorized assignment kernels.
+//
+// The accelerator feeds its parallel distance datapath from *banked* planar
+// scratch pads (one channel memory per Lab component, Fig. 4 / Section
+// 4.3); the interleaved `LabImage` used by the reference algorithm path is
+// the wrong shape for that access pattern on a CPU too — a SIMD lane wants
+// `lanes` consecutive L values, not L/a/b triples. `LabPlanes` is the
+// software analogue of the channel memories for the floating-point path:
+// three planar float rasters split once per frame from the AoS image. The
+// 8-bit fixed-point path already has its planar form (`Planar8`,
+// image/image.h).
+#pragma once
+
+#include "image/image.h"
+
+namespace sslic {
+
+/// Three planar float rasters — L, a, b channel planes of one Lab frame.
+struct LabPlanes {
+  Image<float> L;
+  Image<float> a;
+  Image<float> b;
+
+  LabPlanes() = default;
+  LabPlanes(int width, int height) : L(width, height), a(width, height), b(width, height) {}
+
+  [[nodiscard]] int width() const { return L.width(); }
+  [[nodiscard]] int height() const { return L.height(); }
+  [[nodiscard]] bool empty() const { return L.empty(); }
+};
+
+/// Splits an interleaved Lab image into planar channel planes (row-parallel;
+/// a pure data-layout change — every float is copied bit-for-bit).
+LabPlanes split_lab_planes(const LabImage& lab);
+
+}  // namespace sslic

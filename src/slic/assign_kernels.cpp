@@ -1,0 +1,68 @@
+#include "slic/assign_kernels.h"
+
+namespace sslic::kernels {
+
+bool backend_compiled(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::kScalar:
+      return true;
+    case simd::Isa::kSse2:
+#if defined(SSLIC_KERNELS_SSE2)
+      return true;
+#else
+      return false;
+#endif
+    case simd::Isa::kAvx2:
+#if defined(SSLIC_KERNELS_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case simd::Isa::kNeon:
+#if defined(SSLIC_KERNELS_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable& table_for(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::kScalar:
+      break;
+    case simd::Isa::kSse2:
+#if defined(SSLIC_KERNELS_SSE2)
+      return sse2_table();
+#else
+      break;
+#endif
+    case simd::Isa::kAvx2:
+#if defined(SSLIC_KERNELS_AVX2)
+      return avx2_table();
+#else
+      break;
+#endif
+    case simd::Isa::kNeon:
+#if defined(SSLIC_KERNELS_NEON)
+      return neon_table();
+#else
+      break;
+#endif
+  }
+  return scalar_table();
+}
+
+simd::Isa active_isa() {
+  simd::Isa isa = simd::preferred_isa();
+  // Degrade along the same ladder the CPU clamp uses, but against the
+  // backends compiled into this binary.
+  if (isa == simd::Isa::kAvx2 && !backend_compiled(isa)) isa = simd::Isa::kSse2;
+  if (!backend_compiled(isa)) isa = simd::Isa::kScalar;
+  return isa;
+}
+
+const KernelTable& active() { return table_for(active_isa()); }
+
+}  // namespace sslic::kernels

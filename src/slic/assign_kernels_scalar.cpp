@@ -1,0 +1,13 @@
+// Scalar backend TU. Compiled with -ffp-contract=off like every kernel TU,
+// so the reference operation sequence has no fused multiply-adds for the
+// vector backends to diverge from.
+#include "slic/assign_kernels_impl.h"
+
+namespace sslic::kernels {
+
+const KernelTable& scalar_table() {
+  static const KernelTable table = make_table<ScalarBackend>();
+  return table;
+}
+
+}  // namespace sslic::kernels

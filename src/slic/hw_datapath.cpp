@@ -1,10 +1,12 @@
 #include "slic/hw_datapath.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "common/check.h"
+#include "slic/assign_kernels.h"
 #include "slic/connectivity.h"
 #include "slic/grid.h"
 #include "slic/subset_schedule.h"
@@ -109,6 +111,13 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
   };
   std::vector<HwSigma> sigmas(static_cast<std::size_t>(num_centers));
 
+  // The Planar8 channel memories are already the SoA layout the vectorized
+  // datapath kernel consumes; the subset mask is materialized per row.
+  const kernels::KernelTable& kt = kernels::active();
+  std::vector<std::uint8_t> row_active(static_cast<std::size_t>(w), 0);
+  std::int32_t* labels_ptr = result.labels.pixels().data();
+  const bool all_active = schedule.count() == 1;
+
   for (int iter = 0; iter < config_.iterations; ++iter) {
     IterationStats iter_stats;
     iter_stats.iteration = iter;
@@ -135,38 +144,59 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
         // Visited-pixel counting is hoisted out of the pixel loop: one
         // register-resident tile counter, added back per tile, keeps the
         // totals exact without taxing the datapath's inner loop.
+        // Nine distance calculators feeding the 9:1 minimum tree; ties
+        // resolve to the lowest slot, as a hardware tree does. The center
+        // registers are snapshotted into kernel operands in slot order.
+        std::array<kernels::HwCenterOperand, 9> cand_ops;
+        for (std::size_t k = 0; k < cand.size(); ++k) {
+          const HwCenter& hc = centers[static_cast<std::size_t>(cand[k])];
+          cand_ops[k] = {hc.L, hc.a, hc.b, hc.x, hc.y, cand[k]};
+        }
+        const std::int32_t count = x1 - x0;
+
         std::uint64_t tile_visited = 0;
         for (int y = y0; y < y1; ++y) {
-          for (int x = x0; x < x1; ++x) {
-            if (!schedule.active(x, y, iter)) continue;
-            const Lab8 pixel{planes.ch1(x, y), planes.ch2(x, y), planes.ch3(x, y)};
-
-            // Nine distance calculators feeding the 9:1 minimum tree;
-            // ties resolve to the lowest slot, as a hardware tree does.
-            std::int32_t best = std::numeric_limits<std::int32_t>::max();
-            std::int32_t best_center = cand[0];
-            for (const std::int32_t ci : cand) {
-              const std::int32_t d = quantize_distance(
-                  integer_distance(pixel, x, y,
-                                   centers[static_cast<std::size_t>(ci)],
-                                   weight_q8),
-                  config_.distance_register_bits, dist_shift);
-              if (d < best) {
-                best = d;
-                best_center = ci;
-              }
+          const std::size_t off =
+              static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+              static_cast<std::size_t>(x0);
+          std::uint64_t visited = static_cast<std::uint64_t>(count);
+          const std::uint8_t* mask = nullptr;
+          if (!all_active) {
+            visited = 0;
+            for (int x = x0; x < x1; ++x) {
+              const bool is_active = schedule.active(x, y, iter);
+              row_active[static_cast<std::size_t>(x - x0)] =
+                  is_active ? std::uint8_t{1} : std::uint8_t{0};
+              visited += is_active ? 1 : 0;
             }
+            if (visited == 0) continue;
+            mask = row_active.data();
+          }
+          kt.assign_candidates_row_u8(
+              planes.ch1.data() + off, planes.ch2.data() + off,
+              planes.ch3.data() + off, x0, count, y, cand_ops.data(),
+              static_cast<std::int32_t>(cand.size()), weight_q8,
+              config_.distance_register_bits, dist_shift, mask,
+              labels_ptr + off);
 
-            result.labels(x, y) = best_center;
-            HwSigma& s = sigmas[static_cast<std::size_t>(best_center)];
-            s.L += pixel.L;
-            s.a += pixel.a;
-            s.b += pixel.b;
+          // Cluster-update accumulation from the freshly written labels —
+          // same x-ascending order and integer sums as the fused loop.
+          for (int x = x0; x < x1; ++x) {
+            if (mask != nullptr &&
+                row_active[static_cast<std::size_t>(x - x0)] == 0) {
+              continue;
+            }
+            const std::size_t flat =
+                off + static_cast<std::size_t>(x - x0);
+            HwSigma& s = sigmas[static_cast<std::size_t>(labels_ptr[flat])];
+            s.L += planes.ch1.pixels()[flat];
+            s.a += planes.ch2.pixels()[flat];
+            s.b += planes.ch3.pixels()[flat];
             s.x += x;
             s.y += y;
             s.count += 1;
-            tile_visited += 1;
           }
+          tile_visited += visited;
         }
         st.pixels_visited += tile_visited;
         iter_stats.pixels_visited += tile_visited;

@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "image/planar.h"
+#include "slic/assign_kernels.h"
 #include "slic/center_update.h"
 #include "slic/connectivity.h"
 #include "slic/distance.h"
@@ -100,6 +102,13 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
   std::vector<Sigma> sigmas(static_cast<std::size_t>(num_centers));
   std::vector<std::uint8_t> active(static_cast<std::size_t>(num_centers), 1);
   std::vector<ScanWindow> windows(static_cast<std::size_t>(num_centers));
+
+  // One planar split per frame feeds the vectorized assignment kernels
+  // (SoA channel planes; see image/planar.h). Resolved kernel table is
+  // fetched once — dispatch never runs inside the pixel loops.
+  const LabPlanes planes = split_lab_planes(lab);
+  const kernels::KernelTable& kt = kernels::active();
+  const double spatial_weight = dist.spatial_weight();
   if (phases != nullptr) phases->add(kPhaseOther, init_watch.elapsed_ms());
 
   // 2S x 2S search rectangle centred on each SP (paper Section 2): +/- S.
@@ -172,17 +181,17 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
         const int y1 = std::min(win.y1, static_cast<int>(yhi) - 1);
         if (y0 > y1) continue;
         const ClusterCenter& c = result.centers[ci];
+        const kernels::CenterOperand op{c.L, c.a, c.b, c.x, c.y,
+                                        static_cast<std::int32_t>(ci)};
+        const std::int32_t count = win.x1 - win.x0 + 1;
         for (int y = y0; y <= y1; ++y) {
-          const std::size_t row =
-              static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-          for (int x = win.x0; x <= win.x1; ++x) {
-            const double d = dist.squared(lab(x, y), x, y, c);
-            const std::size_t flat = row + static_cast<std::size_t>(x);
-            if (d < min_dist[flat]) {
-              min_dist[flat] = d;
-              labels_ptr[flat] = static_cast<std::int32_t>(ci);
-            }
-          }
+          const std::size_t off =
+              static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+              static_cast<std::size_t>(win.x0);
+          kt.assign_center_row(planes.L.data() + off, planes.a.data() + off,
+                               planes.b.data() + off, win.x0, count,
+                               static_cast<double>(y), op, spatial_weight,
+                               min_dist.data() + off, labels_ptr + off);
         }
       }
     });

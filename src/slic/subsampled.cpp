@@ -1,11 +1,14 @@
 #include "slic/subsampled.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/check.h"
+#include "image/planar.h"
+#include "slic/assign_kernels.h"
 #include "slic/center_update.h"
 #include "slic/connectivity.h"
 #include "slic/grid.h"
@@ -99,6 +102,14 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
   // formulation; the accelerator holds the running minimum in registers).
   std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
 
+  // Planar split of the (quantized) stored image feeds the vectorized
+  // candidate kernel; the subset mask is materialized per row. Kernel
+  // dispatch is resolved once, outside the tile loops.
+  const LabPlanes planes = split_lab_planes(stored);
+  const kernels::KernelTable& kt = kernels::active();
+  const double spatial_weight = dist.spatial_weight();
+  std::vector<std::uint8_t> row_active(static_cast<std::size_t>(w), 0);
+
   std::vector<Sigma> sigmas(static_cast<std::size_t>(num_centers));
   // Preemptive extension state.
   std::vector<std::uint8_t> frozen(static_cast<std::size_t>(num_centers), 0);
@@ -137,28 +148,40 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
         const int x1 = (gx + 1) * w / grid.nx();
         instr.traffic.center_read += 9 * MemTraffic::kCenterBytes;
 
+        // Candidate operands in list order — slot order is the tie-break,
+        // exactly as the 9:1 minimum tree resolves ties to the lowest slot.
+        std::array<kernels::CenterOperand, 9> cand_ops;
+        for (std::size_t k = 0; k < cand.size(); ++k) {
+          const ClusterCenter& cc =
+              result.centers[static_cast<std::size_t>(cand[k])];
+          cand_ops[k] = {cc.L, cc.a, cc.b, cc.x, cc.y, cand[k]};
+        }
+        const std::int32_t count = x1 - x0;
+        std::int32_t* labels_ptr = result.labels.pixels().data();
+        const bool all_active = schedule.count() == 1;
         for (int y = y0; y < y1; ++y) {
-          const std::size_t row =
-              static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
-          for (int x = x0; x < x1; ++x) {
-            if (!schedule.active(x, y, iter)) continue;
-            const std::size_t flat = row + static_cast<std::size_t>(x);
-            const LabF& color = stored.pixels()[flat];
-
-            double best = std::numeric_limits<double>::infinity();
-            std::int32_t best_center = cand[0];
-            for (const std::int32_t ci : cand) {
-              const double d = dist.squared(
-                  color, x, y, result.centers[static_cast<std::size_t>(ci)]);
-              if (d < best) {
-                best = d;
-                best_center = ci;
-              }
+          const std::size_t off =
+              static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+              static_cast<std::size_t>(x0);
+          std::uint64_t visited = static_cast<std::uint64_t>(count);
+          const std::uint8_t* mask = nullptr;
+          if (!all_active) {
+            visited = 0;
+            for (int x = x0; x < x1; ++x) {
+              const bool is_active = schedule.active(x, y, iter);
+              row_active[static_cast<std::size_t>(x - x0)] =
+                  is_active ? std::uint8_t{1} : std::uint8_t{0};
+              visited += is_active ? 1 : 0;
             }
-            min_dist[flat] = best;
-            result.labels.pixels()[flat] = best_center;
-            stats.pixels_visited += 1;
+            if (visited == 0) continue;
+            mask = row_active.data();
           }
+          kt.assign_candidates_row(
+              planes.L.data() + off, planes.a.data() + off,
+              planes.b.data() + off, x0, count, static_cast<double>(y),
+              cand_ops.data(), static_cast<std::int32_t>(cand.size()),
+              spatial_weight, mask, min_dist.data() + off, labels_ptr + off);
+          stats.pixels_visited += visited;
         }
         // Software-prototype DRAM convention (see instrumentation.h): per
         // visited pixel Lab(12)+candidates(18)+label r/w(8)+min-dist r/w(8).
