@@ -185,8 +185,10 @@ int main(int argc, char** argv) {
           PpaSlic(p, DataWidth::fixed(8)).segment(gt.image).labels, gt.truth);
     }
     const double delta = (use_fx8 - use_f64) / config.images;
+    std::string delta_str = delta >= 0 ? "+" : "";
+    delta_str += Table::num(delta, 4);
     claims.push_back({"8-bit datapath USE penalty vs float64 (CPU)",
-                      "+0.003", (delta >= 0 ? "+" : "") + Table::num(delta, 4),
+                      "+0.003", std::move(delta_str),
                       std::fabs(delta) < 0.01});
   }
 
@@ -199,8 +201,10 @@ int main(int argc, char** argv) {
                    claim.pass ? "PASS" : "FAIL"});
     failures += claim.pass ? 0 : 1;
   }
-  std::cout << table << '\n'
-            << (failures == 0 ? "all headline claims reproduce.\n"
-                              : std::to_string(failures) + " claim(s) FAILED.\n");
+  std::cout << table << '\n';
+  if (failures == 0)
+    std::cout << "all headline claims reproduce.\n";
+  else
+    std::cout << failures << " claim(s) FAILED.\n";
   return failures;
 }

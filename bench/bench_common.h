@@ -25,6 +25,7 @@
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "dataset/synthetic.h"
 #include "metrics/segmentation_metrics.h"
 #include "slic/assign_kernels.h"
@@ -46,9 +47,10 @@ struct BenchConfig {
 
   /// Parses the common flags. As a side effect, `--threads=N` (or the
   /// `SSLIC_THREADS` environment variable when the flag is absent) resizes
-  /// the global thread pool, and `--simd=scalar|sse2|avx2|neon` (or the
+  /// the global thread pool, `--simd=scalar|sse2|avx2|neon` (or the
   /// `SSLIC_SIMD` environment variable) selects the assignment-kernel ISA
-  /// for the whole bench run.
+  /// for the whole bench run, and `--trace=out.json` arms the tracing
+  /// session (dumped at process exit; see common/trace.h).
   static BenchConfig parse(int argc, const char* const* argv) {
     const CliArgs args(argc, argv);
     BenchConfig config;
@@ -68,6 +70,15 @@ struct BenchConfig {
       std::cerr << "unknown --simd value '" << simd_request
                 << "' (expected scalar|sse2|avx2|neon)\n";
       std::exit(2);
+    }
+    const std::string trace_path = args.get_string("trace", "");
+    if (!trace_path.empty()) {
+      if (trace::compiled()) {
+        trace::arm(trace_path);
+      } else {
+        std::cerr << "warning: --trace requested but this binary was built "
+                     "with -DSSLIC_TRACING=OFF; no spans will be recorded\n";
+      }
     }
     return config;
   }

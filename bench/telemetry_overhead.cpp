@@ -1,0 +1,153 @@
+// Tracing-span overhead on the CPA S-SLIC hot path.
+//
+// Runs the CPA software segmenter on a 1080p synthetic frame with tracing
+// (a) disarmed — one relaxed atomic load per span site — and (b) armed at
+// the default detail level, and reports ns/pixel plus the armed/disarmed
+// overhead ratio. The acceptance budget for the default armed trace is <3%
+// (per-iteration and per-band spans only; per-center and per-kernel-call
+// spans cost more and are opt-in via SSLIC_TRACE_DETAIL). A build with
+// -DSSLIC_TRACING=OFF compiles every span away; the artifact records which
+// mode the binary was built in so CI can compare all three.
+//
+// Labels are cross-checked between the armed and disarmed runs — telemetry
+// must never perturb results, only observe them.
+//
+// Emits BENCH_telemetry_overhead.json.
+//
+//   telemetry_overhead [--frames=5] [--superpixels=2000] [--ratio=0.5]
+//                      [--width=1920 --height=1080] [--threads=N]
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "color/color_convert.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "slic/slic_baseline.h"
+
+namespace {
+
+double best(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.front();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sslic;
+  const CliArgs args(argc, argv);
+  const int frames = args.get_int("frames", 5);
+  const int width = args.get_int("width", 1920);
+  const int height = args.get_int("height", 1080);
+  const int superpixels = args.get_int("superpixels", 2000);
+  const double ratio = args.get_double("ratio", 0.5);
+  ThreadPool::set_global_threads(args.get_int("threads", 0));
+  const std::string simd_request = args.get_string("simd", "");
+  if (!simd_request.empty() && !simd::set_preferred_isa(simd_request)) {
+    std::cerr << "unknown --simd value '" << simd_request << "'\n";
+    return 2;
+  }
+
+  std::cout << "==================================================================\n"
+            << "Telemetry overhead — tracing spans on the CPA hot path\n"
+            << "workload: " << width << 'x' << height << ", K=" << superpixels
+            << ", S-SLIC(" << ratio << "), " << frames
+            << " timed frames per mode (best-of), "
+            << ThreadPool::global().threads() << " thread(s)\n"
+            << "tracing compiled: " << (trace::compiled() ? "yes" : "no (spans are no-ops)")
+            << "\n==================================================================\n";
+
+  SyntheticParams scene;
+  scene.width = width;
+  scene.height = height;
+  const GroundTruthImage gt = generate_synthetic(scene, 4242);
+  const LabImage lab = srgb_to_lab(gt.image);
+  const double pixels = static_cast<double>(lab.size());
+
+  SlicParams params;
+  params.num_superpixels = superpixels;
+  params.subsample_ratio = ratio;
+  const CpaSlic slic(params);
+
+  // Ensure a clean session: no env-armed dump interferes with the timing,
+  // and every armed rep starts from an empty buffer so recording (not
+  // buffer-full dropping) is what gets measured.
+  trace::disarm();
+
+  // Untimed warm-up so the first timed mode doesn't absorb cold caches,
+  // lazy allocations, and page faults on behalf of the other.
+  (void)slic.segment_lab(lab);
+
+  struct Mode {
+    const char* key = "";
+    bool armed = false;
+    double ms = 0.0;
+    LabelImage labels;
+  };
+  std::vector<Mode> modes(2);
+  modes[0].key = "disarmed";
+  modes[1].key = "armed";
+  modes[1].armed = true;
+
+  // Interleave the two modes frame by frame so slow drift on the host
+  // (thermal, noisy neighbours) cancels instead of biasing one mode.
+  std::vector<std::vector<double>> samples(modes.size());
+  for (int f = 0; f < frames; ++f) {
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      // Alternate which mode goes first so neither always enjoys the
+      // warmer caches left by its predecessor.
+      const std::size_t m = (f % 2 == 0) ? i : modes.size() - 1 - i;
+      trace::reset();
+      trace::set_armed(modes[m].armed);
+      Stopwatch watch;
+      const Segmentation seg = slic.segment_lab(lab);
+      samples[m].push_back(watch.elapsed_ms());
+      trace::set_armed(false);
+      if (f == frames - 1) modes[m].labels = seg.labels;
+    }
+  }
+  for (std::size_t m = 0; m < modes.size(); ++m) modes[m].ms = best(samples[m]);
+  trace::reset();
+
+  const double disarmed_ms = modes[0].ms;
+  const double armed_ms = modes[1].ms;
+  const double overhead = (armed_ms - disarmed_ms) / disarmed_ms;
+  const bool identical = modes[0].labels.pixels() == modes[1].labels.pixels();
+
+  Table table("1080p CPA frame time by tracing mode");
+  table.set_header({"mode", "ms/frame", "ns/pixel", "overhead"});
+  table.add_row({"disarmed", Table::num(disarmed_ms, 2),
+                 Table::num(disarmed_ms * 1e6 / pixels, 2), "-"});
+  table.add_row({"armed", Table::num(armed_ms, 2),
+                 Table::num(armed_ms * 1e6 / pixels, 2),
+                 Table::num(overhead * 100.0, 2) + "%"});
+  std::cout << table;
+  std::cout << "labels armed vs disarmed: "
+            << (identical ? "identical" : "DIFFER (bug!)") << '\n'
+            << "armed overhead budget: <3% (measured "
+            << Table::num(overhead * 100.0, 2) << "%)\n";
+
+  bench::Json::object()
+      .set("bench", "telemetry_overhead")
+      .set("workload", bench::Json::object()
+                           .set("width", width)
+                           .set("height", height)
+                           .set("superpixels", superpixels)
+                           .set("subsample_ratio", ratio)
+                           .set("timed_frames", frames)
+                           .set("threads", ThreadPool::global().threads()))
+      .set("tracing_compiled", trace::compiled())
+      .set("disarmed_ms", disarmed_ms)
+      .set("disarmed_ns_per_pixel", disarmed_ms * 1e6 / pixels)
+      .set("armed_ms", armed_ms)
+      .set("armed_ns_per_pixel", armed_ms * 1e6 / pixels)
+      .set("armed_overhead_fraction", overhead)
+      .set("labels_identical", identical)
+      .set("machine", bench::machine_json())
+      .write_file("BENCH_telemetry_overhead.json");
+
+  return identical ? 0 : 1;
+}

@@ -14,7 +14,9 @@
 //
 //   video_pipeline [--frames=10] [--width=640 --height=480]
 //                  [--superpixels=1200] [--ratio=0.5] [--threads=N]
+//                  [--trace=out.json] [--metrics=out.json]
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <utility>
@@ -28,7 +30,9 @@
 #include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "dataset/synthetic.h"
 #include "hw/accelerator_model.h"
 #include "image/draw.h"
@@ -88,6 +92,16 @@ int main(int argc, char** argv) {
               << "' (expected scalar|sse2|avx2|neon)\n";
     return 2;
   }
+  const std::string trace_path = args.get_string("trace", "");
+  const std::string metrics_path = args.get_string("metrics", "");
+  if (!trace_path.empty()) {
+    if (trace::compiled()) {
+      trace::arm(trace_path);
+    } else {
+      std::cerr << "warning: --trace requested but this binary was built with "
+                   "-DSSLIC_TRACING=OFF; no spans will be recorded\n";
+    }
+  }
 
   std::cout << "segmenting a synthetic " << width << 'x' << height << " stream, "
             << frames << " frames, K=" << superpixels << ", S-SLIC(" << ratio
@@ -140,20 +154,41 @@ int main(int argc, char** argv) {
   Table table("Per-frame results (golden model + warm-started software)");
   table.set_header({"frame", "sw ms", "superpixels", "ASA", "recall",
                     "stability vs prev", "warm ms", "warm ASA"});
+  // Per-frame latencies also feed the telemetry registry so the exit summary
+  // can report p50/p95/p99 — the tail, not just the mean, is what decides
+  // whether a mobile vision pipeline holds its frame deadline.
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+  telemetry::Histogram& frame_hist = registry.histogram("sslic.video.frame_ms");
+  telemetry::Histogram& warm_hist =
+      registry.histogram("sslic.video.warm_frame_ms");
+
   LabelImage previous;
   double total_ms = 0.0;
   double warm_total_ms = 0.0;
   for (int f = 0; f < frames; ++f) {
+    SSLIC_TRACE_SCOPE("frame", f);
     const auto fi = static_cast<std::size_t>(f);
     Stopwatch watch;
-    const Segmentation seg = segmenter.segment(stream[fi]);
-    const double ms = watch.elapsed_ms();
+    double ms = 0.0;
+    Segmentation seg;
+    {
+      SSLIC_TRACE_SCOPE("frame.golden", f);
+      seg = segmenter.segment(stream[fi]);
+      ms = watch.elapsed_ms();
+    }
     total_ms += ms;
+    frame_hist.record(ms);
 
     Stopwatch warm_watch;
-    const Segmentation warm = temporal.next_frame(stream[fi]);
-    const double warm_ms = warm_watch.elapsed_ms();
+    double warm_ms = 0.0;
+    Segmentation warm;
+    {
+      SSLIC_TRACE_SCOPE("frame.warm", f);
+      warm = temporal.next_frame(stream[fi]);
+      warm_ms = warm_watch.elapsed_ms();
+    }
     warm_total_ms += warm_ms;
+    warm_hist.record(warm_ms);
 
     table.add_row(
         {std::to_string(f), Table::num(ms, 1),
@@ -191,6 +226,7 @@ int main(int argc, char** argv) {
     Stopwatch sequential_watch;
     std::vector<int> sequential_label_counts;
     for (const RgbImage& frame : stream) {
+      SSLIC_TRACE_SCOPE("frame.batch_sequential");
       const LabImage lab = srgb_to_lab(frame);
       const Segmentation seg = sw.segment_lab(lab);
       sequential_label_counts.push_back(count_labels(seg.labels));
@@ -201,11 +237,17 @@ int main(int argc, char** argv) {
     std::vector<int> pipelined_label_counts;
     LabImage current = srgb_to_lab(stream.front());
     for (std::size_t f = 0; f < stream.size(); ++f) {
+      SSLIC_TRACE_SCOPE("frame.batch_pipelined",
+                        static_cast<std::int64_t>(f));
       LabImage next;
       std::thread prefetch;
       const ThreadJoiner prefetch_guard{prefetch};
-      if (f + 1 < stream.size())
-        prefetch = std::thread([&] { next = srgb_to_lab(stream[f + 1]); });
+      if (f + 1 < stream.size()) {
+        prefetch = std::thread([&] {
+          trace::set_thread_name("convert-prefetch");
+          next = srgb_to_lab(stream[f + 1]);
+        });
+      }
       const Segmentation seg = sw.segment_lab(current);
       pipelined_label_counts.push_back(count_labels(seg.labels));
       if (prefetch.joinable()) prefetch.join();
@@ -243,5 +285,34 @@ int main(int argc, char** argv) {
             << Table::num(r.area_mm2, 3) << " mm2\n"
             << "  real-time (30 fps): " << (r.real_time() ? "yes" : "no")
             << "; wrote video_frame0_boundaries.ppm\n";
+
+  // --- Telemetry summary: tail latency and pool utilisation. ---
+  telemetry::export_thread_pool(ThreadPool::global(), registry);
+  std::cout << "\nframe latency (golden model, " << frame_hist.count()
+            << " frames): p50 " << Table::num(frame_hist.p50(), 1) << " ms, p95 "
+            << Table::num(frame_hist.p95(), 1) << " ms, p99 "
+            << Table::num(frame_hist.p99(), 1) << " ms, mean "
+            << Table::num(frame_hist.mean(), 1) << " ms ("
+            << Table::num(1000.0 / frame_hist.mean(), 1) << " fps)\n"
+            << "frame latency (warm software): p50 "
+            << Table::num(warm_hist.p50(), 1) << " ms, p95 "
+            << Table::num(warm_hist.p95(), 1) << " ms, p99 "
+            << Table::num(warm_hist.p99(), 1) << " ms\n";
+  if (!metrics_path.empty()) {
+    telemetry::JsonSink sink;
+    registry.flush_to(sink);
+    std::ofstream out(metrics_path);
+    out << sink.text() << '\n';
+    if (out) {
+      std::cout << "wrote metrics to " << metrics_path << '\n';
+    } else {
+      std::cerr << "failed to write metrics to " << metrics_path << '\n';
+      return 1;
+    }
+  }
+  if (!trace_path.empty() && trace::compiled()) {
+    std::cout << "tracing armed; will write " << trace_path << " at exit ("
+              << trace::dropped_events() << " events dropped so far)\n";
+  }
   return 0;
 }

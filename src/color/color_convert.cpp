@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace sslic {
 
@@ -55,10 +56,12 @@ LabF srgb_to_lab(Rgb8 rgb) {
 }
 
 LabImage srgb_to_lab(const RgbImage& image) {
+  SSLIC_TRACE_SCOPE("color.srgb_to_lab");
   LabImage lab(image.width(), image.height());
   // Pure per-pixel map: identical output for any range partition.
   parallel_for(0, static_cast<std::int64_t>(image.size()),
                [&](std::int64_t lo, std::int64_t hi) {
+                 SSLIC_TRACE_SCOPE_AT(1, "color.srgb_to_lab.chunk", lo);
                  for (std::int64_t i = lo; i < hi; ++i) {
                    const auto idx = static_cast<std::size_t>(i);
                    lab.pixels()[idx] = srgb_to_lab(image.pixels()[idx]);

@@ -6,6 +6,7 @@
 #include "color/color_convert.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace sslic {
 namespace {
@@ -135,6 +136,7 @@ Lab8 LutColorUnit::convert(Rgb8 rgb) const {
 }
 
 Planar8 LutColorUnit::convert(const RgbImage& image) const {
+  SSLIC_TRACE_SCOPE("lut.convert");
   Planar8 planes(image.width(), image.height());
   // The software model of the color unit is a pure per-pixel map, so the
   // image-level conversion is row-parallel; the per-pixel LUT datapath
@@ -154,6 +156,7 @@ Planar8 LutColorUnit::convert(const RgbImage& image) const {
 }
 
 Image<Lab8> LutColorUnit::convert_interleaved(const RgbImage& image) const {
+  SSLIC_TRACE_SCOPE("lut.convert_interleaved");
   Image<Lab8> out(image.width(), image.height());
   parallel_for(0, static_cast<std::int64_t>(image.size()),
                [&](std::int64_t lo, std::int64_t hi) {

@@ -1,10 +1,34 @@
 #include "common/logging.h"
 
-#include <iostream>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/trace.h"
 
 namespace sslic {
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+constexpr int kUninitialized = -1;
+
+// -1 until the first query resolves the SSLIC_LOG_LEVEL environment
+// override (idempotent, so the benign first-use race is harmless).
+std::atomic<int> g_level{kUninitialized};
+
+int level_from_env() {
+  const char* env = std::getenv("SSLIC_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
+    return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
+    return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
+    return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0)
+    return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kInfo);
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -15,15 +39,49 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// Compact per-thread id for log correlation (assignment order, not OS tid).
+int log_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUninitialized) {
+    level = level_from_env();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
 
 namespace detail {
+
 void log_emit(LogLevel level, const std::string& message) {
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  // One formatted line, one fwrite, one flush: concurrent workers cannot
+  // shear each other's messages mid-line. The timestamp shares the trace
+  // clock so log lines line up with trace spans.
+  const double t_ms = static_cast<double>(trace::now_ns()) / 1e6;
+  char prefix[64];
+  const int prefix_len =
+      std::snprintf(prefix, sizeof(prefix), "[%-5s %10.3fms t%02d] ",
+                    level_name(level), t_ms, log_thread_id());
+  std::string line;
+  line.reserve(static_cast<std::size_t>(prefix_len) + message.size() + 1);
+  line += prefix;
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
+
 }  // namespace detail
 
 }  // namespace sslic

@@ -1,5 +1,11 @@
 // Minimal leveled logging to stderr. Benches and examples use INFO for
 // progress; libraries only log at WARN and above.
+//
+// Emission is multithread-safe: each message is written with a single
+// fwrite (so interleaved worker logs never shear mid-line) and carries a
+// monotonic timestamp plus a compact thread id. The threshold defaults to
+// kInfo, overridable with `SSLIC_LOG_LEVEL=debug|info|warn|error` (or 0-3)
+// in the environment; set_log_level() takes precedence once called.
 #pragma once
 
 #include <sstream>
@@ -9,7 +15,8 @@ namespace sslic {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global log threshold; messages below it are dropped. Default: kInfo.
+/// Global log threshold; messages below it are dropped. Default: kInfo or
+/// the SSLIC_LOG_LEVEL environment override.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -28,6 +35,7 @@ void log_emit(LogLevel level, const std::string& message);
     }                                                                    \
   } while (false)
 
+#define SSLIC_DEBUG(expr) SSLIC_LOG(::sslic::LogLevel::kDebug, expr)
 #define SSLIC_INFO(expr) SSLIC_LOG(::sslic::LogLevel::kInfo, expr)
 #define SSLIC_WARN(expr) SSLIC_LOG(::sslic::LogLevel::kWarn, expr)
 #define SSLIC_ERROR(expr) SSLIC_LOG(::sslic::LogLevel::kError, expr)

@@ -13,15 +13,20 @@ double Stopwatch::elapsed_ms() const {
 
 double Stopwatch::elapsed_s() const { return elapsed_ms() / 1000.0; }
 
-void PhaseTimer::add(const std::string& name, double ms) { ms_[name] += ms; }
+void PhaseTimer::add(const std::string& name, double ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ms_[name] += ms;
+}
 
 double PhaseTimer::total_ms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
   for (const auto& [name, ms] : ms_) total += ms;
   return total;
 }
 
 double PhaseTimer::phase_ms(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = ms_.find(name);
   return it == ms_.end() ? 0.0 : it->second;
 }
@@ -31,8 +36,22 @@ double PhaseTimer::phase_fraction(const std::string& name) const {
   return total <= 0.0 ? 0.0 : phase_ms(name) / total;
 }
 
+std::map<std::string, double> PhaseTimer::phases() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ms_;
+}
+
+void PhaseTimer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ms_.clear();
+}
+
 void PhaseTimer::merge(const PhaseTimer& other) {
-  for (const auto& [name, ms] : other.phases()) ms_[name] += ms;
+  // Snapshot the source outside our own lock: self-merge aside, taking the
+  // two locks in sequence (never nested) cannot deadlock.
+  const std::map<std::string, double> theirs = other.phases();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, ms] : theirs) ms_[name] += ms;
 }
 
 }  // namespace sslic

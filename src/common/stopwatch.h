@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace sslic {
@@ -28,6 +29,12 @@ class Stopwatch {
 
 /// Accumulates wall-clock time per named phase. Used by the instrumented
 /// SLIC implementations to reproduce Table 1's per-phase breakdown.
+///
+/// Thread-safe: `add` may be called concurrently (e.g. from pool workers
+/// inside a parallel_for body); accumulation is guarded by an internal
+/// mutex, which is uncontended in the phase-granular use the segmenters
+/// make of it. Readers see a consistent snapshot; `phases()` returns a
+/// copy for the same reason.
 class PhaseTimer {
  public:
   /// Adds `ms` milliseconds to phase `name`.
@@ -42,15 +49,17 @@ class PhaseTimer {
   /// Fraction of the total spent in `name` (0 if total is 0).
   [[nodiscard]] double phase_fraction(const std::string& name) const;
 
-  [[nodiscard]] const std::map<std::string, double>& phases() const { return ms_; }
+  /// Snapshot of every phase's accumulated milliseconds.
+  [[nodiscard]] std::map<std::string, double> phases() const;
 
-  void clear() { ms_.clear(); }
+  void clear();
 
   /// Merges another timer's accumulations into this one.
   void merge(const PhaseTimer& other);
 
  private:
-  std::map<std::string, double> ms_;
+  mutable std::mutex mutex_;
+  std::map<std::string, double> ms_;  // guarded by mutex_
 };
 
 /// RAII helper: adds the scope's duration to `timer[name]` on destruction.

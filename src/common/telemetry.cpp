@@ -1,0 +1,279 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace sslic::telemetry {
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string escaped_name(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<double> exponential_buckets(double lo, double hi, int count) {
+  SSLIC_CHECK(lo > 0.0 && hi > lo && count >= 2);
+  std::vector<double> bounds(static_cast<std::size_t>(count));
+  const double ratio = std::pow(hi / lo, 1.0 / (count - 1));
+  double bound = lo;
+  for (auto& b : bounds) {
+    b = bound;
+    bound *= ratio;
+  }
+  bounds.back() = hi;  // close the range exactly despite rounding
+  return bounds;
+}
+
+std::vector<double> linear_buckets(double lo, double step, int count) {
+  SSLIC_CHECK(step > 0.0 && count >= 1);
+  std::vector<double> bounds(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    bounds[static_cast<std::size_t>(i)] = lo + step * i;
+  return bounds;
+}
+
+const std::vector<double>& default_latency_buckets_ms() {
+  static const std::vector<double> bounds =
+      exponential_buckets(0.01, 10000.0, 128);
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  SSLIC_CHECK(!bounds_.empty());
+  SSLIC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i)
+    SSLIC_CHECK(bounds_[i] < bounds_[i + 1]);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double p) const {
+  SSLIC_CHECK(p >= 0.0 && p <= 100.0);
+  // Snapshot the buckets once so concurrent records cannot tear the
+  // cumulative walk.
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double lo_observed = min_.load(std::memory_order_relaxed);
+  const double hi_observed = max_.load(std::memory_order_relaxed);
+
+  // Nearest-rank with linear interpolation inside the winning bucket.
+  const double rank = p / 100.0 * static_cast<double>(total);
+  const double target = std::max(1.0, std::min(static_cast<double>(total), rank));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const auto before = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    double lower = b == 0 ? lo_observed : bounds_[b - 1];
+    double upper = b < bounds_.size() ? bounds_[b] : hi_observed;
+    lower = std::clamp(lower, lo_observed, hi_observed);
+    upper = std::clamp(upper, lo_observed, hi_observed);
+    const double fraction = (target - before) / static_cast<double>(counts[b]);
+    return lower + fraction * (upper - lower);
+  }
+  return hi_observed;  // unreachable: total > 0 guarantees a winning bucket
+}
+
+void LogSink::write(const MetricSample& sample) {
+  if (sample.kind == MetricSample::Kind::kHistogram) {
+    SSLIC_INFO(sample.name << " count=" << sample.count << " mean="
+                           << sample.value << " p50=" << sample.p50
+                           << " p95=" << sample.p95 << " p99=" << sample.p99);
+  } else {
+    SSLIC_INFO(sample.name << " = " << sample.value);
+  }
+}
+
+void JsonSink::write(const MetricSample& sample) {
+  if (!body_.empty()) body_ += ",\n";
+  body_ += "  \"" + escaped_name(sample.name) + "\": ";
+  switch (sample.kind) {
+    case MetricSample::Kind::kCounter:
+      body_ += "{\"kind\": \"counter\", \"value\": " + num(sample.value) + "}";
+      break;
+    case MetricSample::Kind::kGauge:
+      body_ += "{\"kind\": \"gauge\", \"value\": " + num(sample.value) + "}";
+      break;
+    case MetricSample::Kind::kHistogram:
+      body_ += "{\"kind\": \"histogram\", \"count\": " +
+               num(static_cast<double>(sample.count)) +
+               ", \"sum\": " + num(sample.sum) + ", \"min\": " + num(sample.min) +
+               ", \"max\": " + num(sample.max) + ", \"mean\": " + num(sample.value) +
+               ", \"p50\": " + num(sample.p50) + ", \"p95\": " + num(sample.p95) +
+               ", \"p99\": " + num(sample.p99) + "}";
+      break;
+  }
+}
+
+std::string JsonSink::text() const {
+  return body_.empty() ? "{}" : "{\n" + body_ + "\n}";
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+void MetricsRegistry::flush_to(TelemetrySink& sink) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kCounter;
+    sample.value = static_cast<double>(counter->value());
+    sink.write(sample);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kGauge;
+    sample.value = gauge->value();
+    sink.write(sample);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kHistogram;
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    sample.value = histogram->mean();
+    sample.min = histogram->min();
+    sample.max = histogram->max();
+    sample.p50 = histogram->p50();
+    sample.p95 = histogram->p95();
+    sample.p99 = histogram->p99();
+    sink.write(sample);
+  }
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void export_phase_timer(const PhaseTimer& timer, const std::string& unit,
+                        MetricsRegistry& registry) {
+  const std::string prefix = "sslic." + unit;
+  for (const auto& [phase, ms] : timer.phases())
+    registry.gauge(prefix + ".phase_ms." + phase).set(ms);
+  registry.gauge(prefix + ".total_ms").set(timer.total_ms());
+}
+
+void export_thread_pool(const ThreadPool& pool, MetricsRegistry& registry) {
+  registry.counter("sslic.pool.jobs").set(pool.jobs_run());
+  registry.counter("sslic.pool.threads")
+      .set(static_cast<std::uint64_t>(pool.threads()));
+  const std::vector<ThreadPool::WorkerStats> stats = pool.stats();
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const std::string prefix = "sslic.pool.worker." + std::to_string(i);
+    registry.counter(prefix + ".chunks").set(stats[i].chunks_executed);
+    registry.counter(prefix + ".jobs").set(stats[i].jobs_participated);
+    registry.gauge(prefix + ".busy_ms")
+        .set(static_cast<double>(stats[i].busy_ns) / 1e6);
+  }
+}
+
+}  // namespace sslic::telemetry

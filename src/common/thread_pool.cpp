@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace sslic {
 namespace {
@@ -46,6 +47,34 @@ struct ThreadPool::Impl {
 
   std::vector<std::thread> workers;
 
+  // Telemetry slots, one per thread (slot 0 = the participating caller),
+  // cache-line padded so workers never contend on each other's counters.
+  // Relaxed atomics: these are statistics, not synchronization.
+  struct alignas(64) StatSlot {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> jobs{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+  std::unique_ptr<StatSlot[]> stat_slots;
+  std::atomic<std::uint64_t> jobs_submitted{0};
+
+  // Timed, traced drain: every thread's share of a job becomes one
+  // "pool.drain" span (so a trace shows worker occupancy per job) and one
+  // busy-time/chunk-count update in its stat slot.
+  std::size_t drain_with_stats(std::size_t slot) {
+    const std::uint64_t t0 = trace::now_ns();
+    std::size_t completed;
+    {
+      SSLIC_TRACE_SCOPE("pool.drain");
+      completed = drain();
+    }
+    StatSlot& stats = stat_slots[slot];
+    stats.busy_ns.fetch_add(trace::now_ns() - t0, std::memory_order_relaxed);
+    stats.chunks.fetch_add(completed, std::memory_order_relaxed);
+    stats.jobs.fetch_add(1, std::memory_order_relaxed);
+    return completed;
+  }
+
   // Claims and runs chunks until the job is exhausted; returns the number
   // of chunks this thread completed (including abandoned ones — a chunk
   // skipped after a failure still counts toward completion so the caller's
@@ -74,8 +103,9 @@ struct ThreadPool::Impl {
   // A job is complete only when every chunk ran AND every worker has left
   // drain() — otherwise a straggler could observe the next job's freshly
   // reset counters mid-claim and double-run a chunk.
-  void worker_loop() {
+  void worker_loop(std::size_t slot) {
     t_in_parallel = true;
+    trace::set_thread_name("sslic-worker-" + std::to_string(slot));
     std::uint64_t seen_generation = 0;
     for (;;) {
       {
@@ -87,7 +117,7 @@ struct ThreadPool::Impl {
         seen_generation = generation;
         busy_workers += 1;
       }
-      const std::size_t completed = drain();
+      const std::size_t completed = drain_with_stats(slot);
       {
         const std::lock_guard<std::mutex> lock(mutex);
         done_chunks += completed;
@@ -104,9 +134,13 @@ struct ThreadPool::Impl {
 ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
   if (threads_ == 1) return;
   impl_ = new Impl;
+  impl_->stat_slots =
+      std::make_unique<Impl::StatSlot[]>(static_cast<std::size_t>(threads_));
   impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
-  for (int i = 0; i < threads_ - 1; ++i)
-    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  for (int i = 0; i < threads_ - 1; ++i) {
+    const auto slot = static_cast<std::size_t>(i + 1);
+    impl_->workers.emplace_back([this, slot] { impl_->worker_loop(slot); });
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -160,10 +194,11 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
     impl.exception = nullptr;
     impl.generation += 1;
   }
+  impl.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
   impl.work_ready.notify_all();
 
   t_in_parallel = true;
-  const std::size_t completed = impl.drain();
+  const std::size_t completed = impl.drain_with_stats(0);
   t_in_parallel = false;
   {
     std::unique_lock<std::mutex> lock(impl.mutex);
@@ -181,6 +216,25 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
       std::rethrow_exception(e);
     }
   }
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::stats() const {
+  std::vector<WorkerStats> result;
+  if (impl_ == nullptr) return result;
+  result.resize(static_cast<std::size_t>(threads_));
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    const Impl::StatSlot& slot = impl_->stat_slots[i];
+    result[i].chunks_executed = slot.chunks.load(std::memory_order_relaxed);
+    result[i].jobs_participated = slot.jobs.load(std::memory_order_relaxed);
+    result[i].busy_ns = slot.busy_ns.load(std::memory_order_relaxed);
+  }
+  return result;
+}
+
+std::uint64_t ThreadPool::jobs_run() const {
+  return impl_ == nullptr
+             ? 0
+             : impl_->jobs_submitted.load(std::memory_order_relaxed);
 }
 
 bool ThreadPool::in_parallel_region() { return t_in_parallel; }

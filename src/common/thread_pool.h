@@ -44,6 +44,23 @@ class ThreadPool {
   /// Configured degree of parallelism (>= 1).
   [[nodiscard]] int threads() const { return threads_; }
 
+  /// Per-thread execution statistics, telemetry-only (monotonic since pool
+  /// construction; relaxed counters, so totals are exact only at quiescent
+  /// points). Slot 0 is the calling thread's participation in run_chunks;
+  /// slots 1..threads-1 are the pool workers.
+  struct WorkerStats {
+    std::uint64_t chunks_executed = 0;
+    std::uint64_t jobs_participated = 0;
+    std::uint64_t busy_ns = 0;  ///< wall time spent inside drain()
+  };
+
+  /// Snapshot of every slot's stats; empty for a single-threaded pool
+  /// (serial execution is not tracked). See telemetry::export_thread_pool.
+  [[nodiscard]] std::vector<WorkerStats> stats() const;
+
+  /// Jobs dispatched to the workers (serial fallbacks are not counted).
+  [[nodiscard]] std::uint64_t jobs_run() const;
+
   /// Executes `fn(chunk)` for every chunk in [0, num_chunks), distributing
   /// chunks dynamically over the workers and the calling thread. Blocks
   /// until all chunks finish; rethrows the first chunk exception. Safe to

@@ -1,0 +1,286 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace sslic::trace {
+
+std::uint64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+#if SSLIC_TRACING_ENABLED
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+std::atomic<int> g_detail{0};
+}  // namespace detail
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t begin_ns;
+  std::uint64_t end_ns;
+  std::int64_t arg;
+};
+
+std::size_t buffer_capacity() {
+  static const std::size_t capacity = [] {
+    if (const char* env = std::getenv("SSLIC_TRACE_BUFFER_EVENTS")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && parsed >= 1024 && parsed <= (1L << 22))
+        return static_cast<std::size_t>(parsed);
+    }
+    return static_cast<std::size_t>(1) << 16;
+  }();
+  return capacity;
+}
+
+// One per recording thread, registered below and intentionally never freed
+// so dumps can read events of threads that already exited. `events` is
+// allocated lazily on the first record (set_thread_name alone must not cost
+// megabytes); slots are write-once, published via a release store on
+// `count` and read below an acquire load — no wrapping, no locks.
+struct ThreadBuffer {
+  std::vector<Event> events;
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint64_t last_end_ns = 0;  // producer-private: per-thread monotonizer
+  int tid = 0;
+  std::string name;  // guarded by g_registry_mutex
+};
+
+// Leaked on purpose (like the buffers themselves): the atexit dump runs
+// after function-local statics constructed later than its registration are
+// destroyed, so the registry must never be destroyed at all.
+std::mutex& registry_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::vector<ThreadBuffer*>& registry() {
+  static std::vector<ThreadBuffer*>* buffers = new std::vector<ThreadBuffer*>;
+  return *buffers;
+}
+
+thread_local ThreadBuffer* t_buffer = nullptr;
+
+ThreadBuffer& thread_buffer() {
+  if (t_buffer == nullptr) {
+    auto* buffer = new ThreadBuffer;  // process-lifetime, see struct comment
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    buffer->tid = static_cast<int>(registry().size());
+    registry().push_back(buffer);
+    t_buffer = buffer;
+  }
+  return *t_buffer;
+}
+
+std::mutex g_path_mutex;
+std::string g_path;  // guarded by g_path_mutex
+
+void escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+}
+
+void dump_at_exit() {
+  if (!detail::g_armed.load(std::memory_order_acquire)) return;
+  detail::g_armed.store(false, std::memory_order_release);
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(g_path_mutex);
+    path = g_path;
+  }
+  if (path.empty()) return;
+  std::size_t events = 0;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    for (const ThreadBuffer* b : registry())
+      events += b->count.load(std::memory_order_acquire);
+  }
+  if (write_file(path)) {
+    std::fprintf(stderr, "[trace] wrote %s (%zu events, %llu dropped)\n",
+                 path.c_str(), events,
+                 static_cast<unsigned long long>(dropped_events()));
+  } else {
+    std::fprintf(stderr, "[trace] FAILED to write %s\n", path.c_str());
+  }
+}
+
+// Arms at startup when SSLIC_TRACE / SSLIC_TRACE_DETAIL are set, so every
+// binary (tests included) is traceable without code changes.
+const struct TraceEnvInit {
+  TraceEnvInit() {
+    if (const char* env = std::getenv("SSLIC_TRACE"); env != nullptr && *env != '\0')
+      arm(env);
+    if (const char* env = std::getenv("SSLIC_TRACE_DETAIL")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0') set_detail_level(static_cast<int>(parsed));
+    }
+  }
+} g_trace_env_init;
+
+}  // namespace
+
+namespace detail {
+
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+            std::int64_t arg) {
+  ThreadBuffer& buffer = thread_buffer();
+  if (buffer.events.empty()) buffer.events.resize(buffer_capacity());
+  const std::size_t c = buffer.count.load(std::memory_order_relaxed);
+  if (c >= buffer.events.size()) {
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Per-thread strictly-increasing completion times: spans end in program
+  // order on one thread, so only equal-nanosecond stamps need nudging.
+  if (end_ns <= buffer.last_end_ns) end_ns = buffer.last_end_ns + 1;
+  buffer.last_end_ns = end_ns;
+  if (begin_ns > end_ns) begin_ns = end_ns;
+  buffer.events[c] = Event{name, begin_ns, end_ns, arg};
+  buffer.count.store(c + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void arm(const std::string& path) {
+  {
+    const std::lock_guard<std::mutex> lock(g_path_mutex);
+    g_path = path;
+  }
+  static const bool registered = [] {
+    std::atexit(&dump_at_exit);
+    return true;
+  }();
+  static_cast<void>(registered);
+  detail::g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() { detail::g_armed.store(false, std::memory_order_release); }
+
+bool armed() { return detail::g_armed.load(std::memory_order_relaxed); }
+
+void set_armed(bool armed_now) {
+  detail::g_armed.store(armed_now, std::memory_order_release);
+}
+
+int detail_level() { return detail::g_detail.load(std::memory_order_relaxed); }
+
+void set_detail_level(int level) {
+  detail::g_detail.store(level, std::memory_order_relaxed);
+}
+
+void set_thread_name(const std::string& name) {
+  ThreadBuffer& buffer = thread_buffer();
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  buffer.name = name;
+}
+
+void serialize(std::ostream& os) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  std::string line;
+  char buf[160];
+  for (const ThreadBuffer* buffer : registry()) {
+    if (!buffer->name.empty()) {
+      line.clear();
+      line += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+      line += std::to_string(buffer->tid);
+      line += ", \"args\": {\"name\": \"";
+      escape_into(line, buffer->name);
+      line += "\"}}";
+      os << (first ? "\n" : ",\n") << line;
+      first = false;
+    }
+    const std::size_t n = std::min(buffer->count.load(std::memory_order_acquire),
+                                   buffer->events.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = buffer->events[i];
+      line.clear();
+      line += "{\"name\": \"";
+      escape_into(line, e.name);
+      // Timestamps in microseconds with nanosecond precision, per the
+      // Chrome trace-event format.
+      std::snprintf(buf, sizeof(buf),
+                    "\", \"ph\": \"X\", \"cat\": \"sslic\", \"pid\": 1, "
+                    "\"tid\": %d, \"ts\": %.3f, \"dur\": %.3f",
+                    buffer->tid, static_cast<double>(e.begin_ns) / 1000.0,
+                    static_cast<double>(e.end_ns - e.begin_ns) / 1000.0);
+      line += buf;
+      if (e.arg != kNoArg) {
+        line += ", \"args\": {\"n\": ";
+        line += std::to_string(e.arg);
+        line += "}";
+      }
+      line += "}";
+      os << (first ? "\n" : ",\n") << line;
+      first = false;
+    }
+  }
+  os << (first ? "" : "\n") << "]}\n";
+}
+
+bool write_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  serialize(out);
+  return static_cast<bool>(out);
+}
+
+void reset() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  for (ThreadBuffer* buffer : registry()) {
+    buffer->count.store(0, std::memory_order_release);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+    // last_end_ns is left alone: the monotonizer must never move backwards.
+  }
+}
+
+std::uint64_t dropped_events() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::uint64_t total = 0;
+  for (const ThreadBuffer* buffer : registry())
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+#else  // !SSLIC_TRACING_ENABLED — stubs keeping every call site linkable
+
+void arm(const std::string&) {}
+void disarm() {}
+bool armed() { return false; }
+void set_armed(bool) {}
+int detail_level() { return 0; }
+void set_detail_level(int) {}
+void set_thread_name(const std::string&) {}
+void serialize(std::ostream& os) { os << "{\"traceEvents\": []}\n"; }
+bool write_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  serialize(out);
+  return static_cast<bool>(out);
+}
+void reset() {}
+std::uint64_t dropped_events() { return 0; }
+
+#endif  // SSLIC_TRACING_ENABLED
+
+}  // namespace sslic::trace

@@ -1,0 +1,196 @@
+// Low-overhead scoped tracing spans serialized as Chrome trace-event JSON
+// (loadable in Perfetto or chrome://tracing).
+//
+// Recording model: each thread owns a fixed-capacity buffer of complete
+// events ({name, begin_ns, end_ns, arg}); a span writes exactly one event at
+// scope exit, into its own buffer, with no locks on the hot path. Buffers
+// are registered in a process-wide list (and intentionally never freed), so
+// a dump sees events from threads that have already exited. When a buffer
+// fills, further events from that thread are counted as dropped rather than
+// wrapping — slots are write-once, which is what makes concurrent
+// serialization race-free (events are published with a release store on the
+// buffer's count; the reader only touches slots below its acquire load).
+//
+// Arming: spans record only while the session is armed. `SSLIC_TRACE=<path>`
+// in the environment arms at startup and dumps to <path> at process exit;
+// examples and benches also expose `--trace=<path>`. A disarmed span costs
+// one relaxed atomic load — no clock reads, no stores.
+//
+// Detail levels: `SSLIC_TRACE_SCOPE` records whenever armed. Finer spans
+// (per tile/center, per SIMD kernel call) use `SSLIC_TRACE_SCOPE_AT(level,
+// ...)` and record only when `SSLIC_TRACE_DETAIL` >= level, so the default
+// armed trace stays cheap and small.
+//
+// Compile-out: building with -DSSLIC_TRACING=OFF defines
+// SSLIC_TRACING_ENABLED=0; the macros expand to nothing, Span/Interval
+// become empty types, and the session functions compile to stubs — the
+// no-op path is covered by a CI job.
+#pragma once
+
+#ifndef SSLIC_TRACING_ENABLED
+#define SSLIC_TRACING_ENABLED 1
+#endif
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#if SSLIC_TRACING_ENABLED
+#include <atomic>
+#endif
+
+namespace sslic::trace {
+
+/// Sentinel for "span carries no argument".
+inline constexpr std::int64_t kNoArg = INT64_MIN;
+
+/// True when spans are compiled in (SSLIC_TRACING build option).
+constexpr bool compiled() { return SSLIC_TRACING_ENABLED != 0; }
+
+/// Monotonic nanoseconds since the process trace epoch.
+std::uint64_t now_ns();
+
+/// Arms the session and schedules a dump of the trace to `path` at process
+/// exit (idempotent; the last path wins). A no-op stub when compiled out.
+void arm(const std::string& path);
+
+/// Disarms without dumping (cancels a pending exit dump).
+void disarm();
+
+/// True while spans record.
+bool armed();
+
+/// Raises/lowers recording without touching the exit-dump path — for tests
+/// and benches that serialize explicitly.
+void set_armed(bool armed);
+
+/// Detail threshold for SSLIC_TRACE_SCOPE_AT (default 0; `SSLIC_TRACE_DETAIL`
+/// env). Level 1 adds per-tile/per-center spans, level 2 per-kernel-call.
+int detail_level();
+void set_detail_level(int level);
+
+/// Names the calling thread in the trace (Perfetto thread track label).
+void set_thread_name(const std::string& name);
+
+/// Writes the Chrome trace-event JSON for everything recorded so far.
+/// Callers must ensure recording threads are quiescent (or disarm first).
+void serialize(std::ostream& os);
+
+/// serialize() to a file; returns false on I/O failure.
+bool write_file(const std::string& path);
+
+/// Discards all recorded events (buffers stay registered). Quiescence
+/// required, as with serialize().
+void reset();
+
+/// Events lost to full per-thread buffers since the last reset().
+std::uint64_t dropped_events();
+
+#if SSLIC_TRACING_ENABLED
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+extern std::atomic<int> g_detail;
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+            std::int64_t arg);
+}  // namespace detail
+
+/// RAII span: one complete event from construction to destruction.
+/// `name` must have static storage duration (only the pointer is stored).
+class Span {
+ public:
+  explicit Span(const char* name, std::int64_t arg = kNoArg)
+      : name_(name), arg_(arg),
+        armed_(detail::g_armed.load(std::memory_order_relaxed)) {
+    if (armed_) begin_ = now_ns();
+  }
+  ~Span() {
+    if (armed_) detail::record(name_, begin_, now_ns(), arg_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t arg_;
+  bool armed_;
+  std::uint64_t begin_ = 0;
+};
+
+/// Span recorded only at or above a detail level (see detail_level()).
+class DetailSpan {
+ public:
+  DetailSpan(int level, const char* name, std::int64_t arg = kNoArg)
+      : name_(name), arg_(arg),
+        armed_(detail::g_armed.load(std::memory_order_relaxed) &&
+               detail::g_detail.load(std::memory_order_relaxed) >= level) {
+    if (armed_) begin_ = now_ns();
+  }
+  ~DetailSpan() {
+    if (armed_) detail::record(name_, begin_, now_ns(), arg_);
+  }
+
+  DetailSpan(const DetailSpan&) = delete;
+  DetailSpan& operator=(const DetailSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t arg_;
+  bool armed_;
+  std::uint64_t begin_ = 0;
+};
+
+/// Manual begin/complete spans for back-to-back regions that straddle block
+/// boundaries (mirrors the Stopwatch-per-phase pattern): complete() records
+/// the region since construction (or the previous complete()) and re-arms
+/// for the next one.
+class Interval {
+ public:
+  Interval()
+      : armed_(detail::g_armed.load(std::memory_order_relaxed)),
+        begin_(armed_ ? now_ns() : 0) {}
+
+  void complete(const char* name, std::int64_t arg = kNoArg) {
+    if (armed_) detail::record(name, begin_, now_ns(), arg);
+    armed_ = detail::g_armed.load(std::memory_order_relaxed);
+    begin_ = armed_ ? now_ns() : 0;
+  }
+
+ private:
+  bool armed_;
+  std::uint64_t begin_;
+};
+
+#else  // !SSLIC_TRACING_ENABLED — empty types, zero code at call sites
+
+class Span {
+ public:
+  explicit Span(const char*, std::int64_t = kNoArg) {}
+};
+class DetailSpan {
+ public:
+  DetailSpan(int, const char*, std::int64_t = kNoArg) {}
+};
+class Interval {
+ public:
+  void complete(const char*, std::int64_t = kNoArg) {}
+};
+
+#endif  // SSLIC_TRACING_ENABLED
+
+}  // namespace sslic::trace
+
+#define SSLIC_TRACE_CONCAT2(a, b) a##b
+#define SSLIC_TRACE_CONCAT(a, b) SSLIC_TRACE_CONCAT2(a, b)
+
+#if SSLIC_TRACING_ENABLED
+#define SSLIC_TRACE_SCOPE(...) \
+  ::sslic::trace::Span SSLIC_TRACE_CONCAT(sslic_trace_span_, __LINE__)(__VA_ARGS__)
+#define SSLIC_TRACE_SCOPE_AT(level, ...)                               \
+  ::sslic::trace::DetailSpan SSLIC_TRACE_CONCAT(sslic_trace_span_,     \
+                                                __LINE__)(level, __VA_ARGS__)
+#else
+#define SSLIC_TRACE_SCOPE(...) static_cast<void>(0)
+#define SSLIC_TRACE_SCOPE_AT(...) static_cast<void>(0)
+#endif

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "hw/cluster_unit.h"
 #include "slic/grid.h"
 
@@ -17,6 +18,7 @@ CycleSimulator::CycleSimulator(AcceleratorDesign design, const DramModel& dram)
 }
 
 CycleReport CycleSimulator::run() const {
+  SSLIC_TRACE_SCOPE("hw.cycle_sim");
   const ClusterUnit cluster(design_.cluster);
   const CenterGrid grid(design_.width, design_.height, design_.num_superpixels);
   CycleReport report;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace sslic {
 namespace {
@@ -14,6 +15,7 @@ constexpr int kDy[4] = {0, 0, -1, 1};
 
 ConnectivityResult enforce_connectivity(LabelImage& labels,
                                         int expected_superpixels) {
+  SSLIC_TRACE_SCOPE("slic.connectivity");
   SSLIC_CHECK(expected_superpixels >= 1);
   const int w = labels.width();
   const int h = labels.height();

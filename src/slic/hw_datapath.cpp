@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "slic/assign_kernels.h"
 #include "slic/connectivity.h"
 #include "slic/grid.h"
@@ -48,6 +49,7 @@ std::int32_t HwSlic::quantize_distance(std::int32_t d, int bits, int shift) {
 
 Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
   SSLIC_CHECK(!image.empty());
+  SSLIC_TRACE_SCOPE("hw.segment");
   const int w = image.width();
   const int h = image.height();
   const std::size_t n = image.size();
@@ -58,7 +60,9 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
 
   // --- Color conversion: RGB loaded into channel memories, converted via
   // the LUT unit, written back as L/a/b planes (Section 4.3). ---
+  trace::Interval color_span;
   const Planar8 planes = color_unit_.convert(image);
+  color_span.complete("hw.color_convert");
   st.pixels_converted = n;
   st.dram_image_read += 3 * n;  // RGB bytes in
 
@@ -119,6 +123,7 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
   const bool all_active = schedule.count() == 1;
 
   for (int iter = 0; iter < config_.iterations; ++iter) {
+    SSLIC_TRACE_SCOPE("hw.iter", iter);
     IterationStats iter_stats;
     iter_stats.iteration = iter;
     for (auto& s : sigmas) s = HwSigma{};
@@ -127,6 +132,7 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
       const int y0 = gy * h / grid.ny();
       const int y1 = (gy + 1) * h / grid.ny();
       for (int gx = 0; gx < grid.nx(); ++gx) {
+        SSLIC_TRACE_SCOPE_AT(1, "hw.tile", grid.center_index(gx, gy));
         const int x0 = gx * w / grid.nx();
         const int x1 = (gx + 1) * w / grid.nx();
         const CandidateList& cand =
@@ -172,6 +178,7 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
             if (visited == 0) continue;
             mask = row_active.data();
           }
+          SSLIC_TRACE_SCOPE_AT(2, "hw.kernel.row", y);
           kt.assign_candidates_row_u8(
               planes.ch1.data() + off, planes.ch2.data() + off,
               planes.ch3.data() + off, x0, count, y, cand_ops.data(),
@@ -204,6 +211,7 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
     }
 
     // --- Center update unit: one rounded integer division per field. ---
+    SSLIC_TRACE_SCOPE("hw.update", iter);
     double movement = 0.0;
     std::size_t updated = 0;
     for (std::size_t ci = 0; ci < centers.size(); ++ci) {
@@ -240,8 +248,10 @@ Segmentation HwSlic::segment(const RgbImage& image, HwRunStats* stats) const {
                          static_cast<double>(centers[i].y)};
   }
 
-  if (config_.enforce_connectivity)
+  if (config_.enforce_connectivity) {
+    SSLIC_TRACE_SCOPE("hw.connectivity");
     enforce_connectivity(result.labels, config_.num_superpixels);
+  }
   return result;
 }
 

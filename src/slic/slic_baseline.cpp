@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "image/planar.h"
 #include "slic/assign_kernels.h"
 #include "slic/center_update.h"
@@ -57,6 +58,7 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
                                   Instrumentation* instrumentation,
                                   PhaseTimer* phases) const {
   SSLIC_CHECK(!lab.empty());
+  SSLIC_TRACE_SCOPE("cpa.segment");
   const int w = lab.width();
   const int h = lab.height();
   const std::size_t n = lab.size();
@@ -66,6 +68,7 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
   instr = Instrumentation{};
 
   Stopwatch init_watch;
+  trace::Interval init_span;
   const CenterGrid grid(w, h, params_.num_superpixels);
   const double spacing = grid.spacing();
   const DistanceCalculator dist(params_.compactness, spacing);
@@ -110,18 +113,21 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
   const kernels::KernelTable& kt = kernels::active();
   const double spatial_weight = dist.spatial_weight();
   if (phases != nullptr) phases->add(kPhaseOther, init_watch.elapsed_ms());
+  init_span.complete("cpa.init");
 
   // 2S x 2S search rectangle centred on each SP (paper Section 2): +/- S.
   const int window = std::max(1, static_cast<int>(std::lround(spacing)));
   double callback_ms_total = 0.0;
 
   for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    SSLIC_TRACE_SCOPE("cpa.iter", iter);
     Stopwatch iter_watch;
     IterationStats stats;
     stats.iteration = iter;
 
     // --- Assignment: scan each active center's 2Sx2S window. ---
     Stopwatch assign_watch;
+    trace::Interval assign_span;
     if (!subsampled) {
       parallel_for(0, static_cast<std::int64_t>(n),
                    [&](std::int64_t lo, std::int64_t hi) {
@@ -174,17 +180,21 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
     // the pixel arrays.
     std::int32_t* labels_ptr = result.labels.pixels().data();
     parallel_for(0, h, [&](std::int64_t ylo, std::int64_t yhi) {
+      SSLIC_TRACE_SCOPE("cpa.assign.band", ylo);
       for (std::size_t ci = 0; ci < result.centers.size(); ++ci) {
         if (active[ci] == 0) continue;
         const ScanWindow& win = windows[ci];
         const int y0 = std::max(win.y0, static_cast<int>(ylo));
         const int y1 = std::min(win.y1, static_cast<int>(yhi) - 1);
         if (y0 > y1) continue;
+        SSLIC_TRACE_SCOPE_AT(1, "cpa.assign.center",
+                             static_cast<std::int64_t>(ci));
         const ClusterCenter& c = result.centers[ci];
         const kernels::CenterOperand op{c.L, c.a, c.b, c.x, c.y,
                                         static_cast<std::int32_t>(ci)};
         const std::int32_t count = win.x1 - win.x0 + 1;
         for (int y = y0; y <= y1; ++y) {
+          SSLIC_TRACE_SCOPE_AT(2, "cpa.kernel.row", y);
           const std::size_t off =
               static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
               static_cast<std::size_t>(win.x0);
@@ -196,6 +206,7 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
       }
     });
     if (phases != nullptr) phases->add(kPhaseDistanceMin, assign_watch.elapsed_ms());
+    assign_span.complete("cpa.assign", iter);
 
     // --- Center update: full sigma pass, then divide. ---
     // Per-band sigma accumulators merged in ascending band order. The band
@@ -203,6 +214,7 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
     // fixed chunk budget), so the floating-point reduction tree — and hence
     // every center, bit for bit — is the same at any thread count.
     Stopwatch update_watch;
+    trace::Interval update_span;
     sigmas = parallel_reduce<std::vector<Sigma>>(
         0, h,
         [&](std::vector<Sigma>& partial, std::int64_t ylo, std::int64_t yhi) {
@@ -240,6 +252,7 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
     instr.traffic.center_write +=
         static_cast<std::uint64_t>(num_centers) * MemTraffic::kCenterBytes;
     if (phases != nullptr) phases->add(kPhaseCenterUpdate, update_watch.elapsed_ms());
+    update_span.complete("cpa.update", iter);
 
     instr.iterations += 1;
     result.iterations_run = iter + 1;
@@ -261,6 +274,7 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
 
   if (params_.enforce_connectivity) {
     Stopwatch conn_watch;
+    SSLIC_TRACE_SCOPE("cpa.connectivity");
     enforce_connectivity(result.labels, params_.num_superpixels);
     if (phases != nullptr) phases->add(kPhaseOther, conn_watch.elapsed_ms());
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "image/planar.h"
 #include "slic/assign_kernels.h"
 #include "slic/center_update.h"
@@ -58,6 +59,7 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
                                    Instrumentation* instrumentation,
                                    PhaseTimer* phases) const {
   SSLIC_CHECK(!lab.empty());
+  SSLIC_TRACE_SCOPE("ppa.segment");
   const int w = lab.width();
   const int h = lab.height();
   const std::size_t n = lab.size();
@@ -118,17 +120,20 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
   if (phases != nullptr) phases->add(CpaSlic::kPhaseOther, init_watch.elapsed_ms());
 
   for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    SSLIC_TRACE_SCOPE("ppa.iter", iter);
     Stopwatch iter_watch;
     IterationStats stats;
     stats.iteration = iter;
 
     // --- Per-pixel assignment over the active subset, tile by tile. ---
     Stopwatch assign_watch;
+    trace::Interval assign_span;
     std::fill(tile_skipped.begin(), tile_skipped.end(), std::uint8_t{0});
     for (int gy = 0; gy < grid.ny(); ++gy) {
       const int y0 = gy * h / grid.ny();
       const int y1 = (gy + 1) * h / grid.ny();
       for (int gx = 0; gx < grid.nx(); ++gx) {
+        SSLIC_TRACE_SCOPE_AT(1, "ppa.tile", grid.center_index(gx, gy));
         const CandidateList& cand =
             candidates[static_cast<std::size_t>(grid.center_index(gx, gy))];
 
@@ -176,6 +181,7 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
             if (visited == 0) continue;
             mask = row_active.data();
           }
+          SSLIC_TRACE_SCOPE_AT(2, "ppa.kernel.row", y);
           kt.assign_candidates_row(
               planes.L.data() + off, planes.a.data() + off,
               planes.b.data() + off, x0, count, static_cast<double>(y),
@@ -204,6 +210,7 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
         stats.pixels_visited * MemTraffic::kDistanceBytes;
     if (phases != nullptr)
       phases->add(CpaSlic::kPhaseDistanceMin, assign_watch.elapsed_ms());
+    assign_span.complete("ppa.assign", iter);
 
     // --- Center update from the subset's accumulations (OS-EM style). ---
     // The sigma accumulation runs as its own pass (the hardware's cluster
@@ -211,6 +218,7 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
     // DRAM traffic) and is charged to the center-update phase, matching
     // the paper's Table-1 accounting.
     Stopwatch update_watch;
+    trace::Interval update_span;
     for (auto& s : sigmas) s.clear();
     for (int y = 0; y < h; ++y) {
       const int gy = grid.cell_y(y);
@@ -261,6 +269,7 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
         static_cast<std::uint64_t>(num_centers) * MemTraffic::kCenterBytes;
     if (phases != nullptr)
       phases->add(CpaSlic::kPhaseCenterUpdate, update_watch.elapsed_ms());
+    update_span.complete("ppa.update", iter);
 
     instr.iterations += 1;
     result.iterations_run = iter + 1;
@@ -278,6 +287,7 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
 
   if (params_.enforce_connectivity) {
     Stopwatch conn_watch;
+    SSLIC_TRACE_SCOPE("ppa.connectivity");
     enforce_connectivity(result.labels, params_.num_superpixels);
     if (phases != nullptr) phases->add(CpaSlic::kPhaseOther, conn_watch.elapsed_ms());
   }

@@ -1,0 +1,34 @@
+#include "slic/telemetry_bridge.h"
+
+namespace sslic::telemetry {
+
+void export_instrumentation(const Instrumentation& instr,
+                            const std::string& unit,
+                            MetricsRegistry& registry) {
+  const std::string prefix = "sslic." + unit;
+  registry.counter(prefix + ".ops.distance_evals").set(instr.ops.distance_evals);
+  registry.counter(prefix + ".ops.distance_ops").set(instr.ops.distance_ops());
+  registry.counter(prefix + ".ops.compare").set(instr.ops.compare_ops);
+  registry.counter(prefix + ".ops.accumulate").set(instr.ops.accumulate_ops);
+  registry.counter(prefix + ".ops.divide").set(instr.ops.divide_ops);
+  registry.counter(prefix + ".ops.total").set(instr.ops.total_ops());
+
+  registry.counter(prefix + ".traffic.image_read").set(instr.traffic.image_read);
+  registry.counter(prefix + ".traffic.label_read").set(instr.traffic.label_read);
+  registry.counter(prefix + ".traffic.label_write").set(instr.traffic.label_write);
+  registry.counter(prefix + ".traffic.distance_read")
+      .set(instr.traffic.distance_read);
+  registry.counter(prefix + ".traffic.distance_write")
+      .set(instr.traffic.distance_write);
+  registry.counter(prefix + ".traffic.candidate_read")
+      .set(instr.traffic.candidate_read);
+  registry.counter(prefix + ".traffic.center_read").set(instr.traffic.center_read);
+  registry.counter(prefix + ".traffic.center_write")
+      .set(instr.traffic.center_write);
+  registry.counter(prefix + ".traffic.total").set(instr.traffic.total());
+
+  registry.counter(prefix + ".iterations").set(instr.iterations);
+  registry.counter(prefix + ".tiles_skipped").set(instr.tiles_skipped);
+}
+
+}  // namespace sslic::telemetry

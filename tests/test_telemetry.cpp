@@ -1,0 +1,454 @@
+// Tests for the unified telemetry layer: metrics registry (counters,
+// gauges, percentile histograms), the PhaseTimer/ThreadPool/Instrumentation
+// exporters, and the tracing-span session (recording, nesting, Chrome
+// trace-event serialization). Telemetry must observe without perturbing:
+// the golden-run test cross-checks exported counters against the
+// Instrumentation record itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "dataset/synthetic.h"
+#include "slic/slic_baseline.h"
+#include "slic/telemetry_bridge.h"
+
+namespace sslic {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+
+TEST(Counter, AddAndSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(1.5);
+  g.add(2.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.75);
+}
+
+TEST(Histogram, BasicStatistics) {
+  Histogram h(telemetry::linear_buckets(1.0, 1.0, 10));
+  for (const double v : {2.5, 4.5, 6.5}) h.record(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(h.min(), 2.5);
+  EXPECT_DOUBLE_EQ(h.max(), 6.5);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h(telemetry::linear_buckets(1.0, 1.0, 4));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// Percentiles against the sorted-vector nearest-rank reference. With one
+// integer value per unit-wide bucket, the interpolated estimate must land
+// within one bucket width of the exact answer.
+TEST(Histogram, PercentilesMatchSortedReference) {
+  Histogram h(telemetry::linear_buckets(0.5, 1.0, 1000));
+  std::vector<double> values;
+  // Deterministic non-uniform sample: quadratic spread over [1, 1000].
+  for (int i = 1; i <= 2000; ++i) {
+    const double v = 1.0 + 999.0 * (i * i) / (2000.0 * 2000.0);
+    values.push_back(std::floor(v));
+    h.record(std::floor(v));
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    const std::size_t rank = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(p / 100.0 * static_cast<double>(values.size()))));
+    const double reference = values[rank - 1];
+    EXPECT_NEAR(h.percentile(p), reference, 1.0) << "p" << p;
+  }
+  // The extremes interpolate within the first/last occupied bucket, so they
+  // match min/max only to bucket resolution.
+  EXPECT_NEAR(h.percentile(0.0), h.min(), 1.0);
+  EXPECT_NEAR(h.percentile(100.0), h.max(), 1.0);
+}
+
+TEST(Histogram, OverflowBucketClampsToObservedMax) {
+  Histogram h(telemetry::linear_buckets(1.0, 1.0, 4));  // last bound: 4.0
+  h.record(1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(Histogram, ExponentialBucketsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = telemetry::exponential_buckets(0.01, 10000.0, 128);
+  ASSERT_EQ(bounds.size(), 128u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.01);
+  EXPECT_NEAR(bounds.back(), 10000.0, 1e-6);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+}
+
+TEST(MetricsRegistry, ReturnsStableReferencesAndFlushes) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("sslic.test.count");
+  EXPECT_EQ(&c, &registry.counter("sslic.test.count"));
+  c.add(5);
+  registry.gauge("sslic.test.gauge").set(2.5);
+  registry.histogram("sslic.test.hist").record(10.0);
+
+  std::map<std::string, telemetry::MetricSample> seen;
+  struct CaptureSink : telemetry::TelemetrySink {
+    std::map<std::string, telemetry::MetricSample>& out;
+    explicit CaptureSink(std::map<std::string, telemetry::MetricSample>& o)
+        : out(o) {}
+    void write(const telemetry::MetricSample& sample) override {
+      out[sample.name] = sample;
+    }
+  } sink{seen};
+  registry.flush_to(sink);
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_DOUBLE_EQ(seen.at("sslic.test.count").value, 5.0);
+  EXPECT_DOUBLE_EQ(seen.at("sslic.test.gauge").value, 2.5);
+  EXPECT_EQ(seen.at("sslic.test.hist").count, 1u);
+  EXPECT_DOUBLE_EQ(seen.at("sslic.test.hist").sum, 10.0);
+}
+
+TEST(MetricsRegistry, ConcurrentMutationFromPoolThreads) {
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("sslic.test.hits");
+  Histogram& hist = registry.histogram(
+      "sslic.test.values", telemetry::linear_buckets(0.5, 1.0, 128));
+  ThreadPool pool(4);
+  constexpr std::size_t kChunks = 128;
+  pool.run_chunks(kChunks, [&](std::size_t c) {
+    hits.add();
+    hist.record(static_cast<double>(c % 100) + 1.0);
+  });
+  EXPECT_EQ(hits.value(), kChunks);
+  EXPECT_EQ(hist.count(), kChunks);
+}
+
+TEST(JsonSink, ProducesBalancedJson) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.gauge").set(1.25);
+  registry.histogram("c.hist").record(5.0);
+  telemetry::JsonSink sink;
+  registry.flush_to(sink);
+  const std::string text = sink.text();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_NE(text.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(text.find("\"b.gauge\""), std::string::npos);
+  EXPECT_NE(text.find("\"c.hist\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+}
+
+// Satellite (b): PhaseTimer::add must be safe when worker threads attribute
+// time concurrently.
+TEST(PhaseTimer, ConcurrentAddAccumulatesExactly) {
+  PhaseTimer timer;
+  ThreadPool pool(4);
+  constexpr std::size_t kChunks = 64;
+  pool.run_chunks(kChunks, [&](std::size_t) { timer.add("phase", 1.0); });
+  EXPECT_DOUBLE_EQ(timer.phase_ms("phase"), 64.0);
+  EXPECT_DOUBLE_EQ(timer.total_ms(), 64.0);
+}
+
+TEST(ThreadPoolStats, ChunkTotalsMatchSubmittedWork) {
+  ThreadPool pool(4);
+  const std::uint64_t jobs_before = pool.jobs_run();
+  constexpr std::size_t kChunks = 97;
+  std::atomic<int> ran{0};
+  pool.run_chunks(kChunks, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), static_cast<int>(kChunks));
+  EXPECT_EQ(pool.jobs_run(), jobs_before + 1);
+
+  const std::vector<ThreadPool::WorkerStats> stats = pool.stats();
+  ASSERT_EQ(stats.size(), 4u);  // slot 0 = caller, 1..3 = workers
+  std::uint64_t chunks = 0;
+  for (const ThreadPool::WorkerStats& s : stats) chunks += s.chunks_executed;
+  // Every chunk of every job this pool ever ran is attributed to exactly
+  // one slot; this pool ran exactly one job.
+  EXPECT_EQ(chunks, kChunks);
+}
+
+TEST(Exporters, ThreadPoolMetricsLandInRegistry) {
+  ThreadPool pool(2);
+  pool.run_chunks(16, [](std::size_t) {});
+  MetricsRegistry registry;
+  telemetry::export_thread_pool(pool, registry);
+  EXPECT_EQ(registry.counter("sslic.pool.threads").value(), 2u);
+  EXPECT_EQ(registry.counter("sslic.pool.jobs").value(), 1u);
+  std::uint64_t chunks = 0;
+  for (int i = 0; i < 2; ++i) {
+    chunks += registry
+                  .counter("sslic.pool.worker." + std::to_string(i) + ".chunks")
+                  .value();
+  }
+  EXPECT_EQ(chunks, 16u);
+}
+
+TEST(Exporters, PhaseTimerMetricsLandInRegistry) {
+  PhaseTimer timer;
+  timer.add("assign", 12.0);
+  timer.add("update", 3.0);
+  MetricsRegistry registry;
+  telemetry::export_phase_timer(timer, "cpa", registry);
+  EXPECT_DOUBLE_EQ(registry.gauge("sslic.cpa.phase_ms.assign").value(), 12.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("sslic.cpa.phase_ms.update").value(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("sslic.cpa.total_ms").value(), 15.0);
+}
+
+// Tentpole acceptance: counters exported from a golden CPA run must agree
+// with the Instrumentation record exactly.
+TEST(Exporters, InstrumentationCountersMatchGoldenCpaRun) {
+  SyntheticParams scene;
+  scene.width = 160;
+  scene.height = 120;
+  const GroundTruthImage gt = generate_synthetic(scene, 1234);
+
+  SlicParams params;
+  params.num_superpixels = 64;
+  params.max_iterations = 4;
+  Instrumentation instr;
+  const CpaSlic slic(params);
+  const Segmentation seg = slic.segment(gt.image, {}, &instr);
+  ASSERT_FALSE(seg.labels.empty());
+  ASSERT_GT(instr.ops.distance_evals, 0u);
+
+  MetricsRegistry registry;
+  telemetry::export_instrumentation(instr, "cpa", registry);
+  EXPECT_EQ(registry.counter("sslic.cpa.ops.distance_evals").value(),
+            instr.ops.distance_evals);
+  EXPECT_EQ(registry.counter("sslic.cpa.ops.distance_ops").value(),
+            instr.ops.distance_ops());
+  EXPECT_EQ(registry.counter("sslic.cpa.ops.compare").value(),
+            instr.ops.compare_ops);
+  EXPECT_EQ(registry.counter("sslic.cpa.ops.accumulate").value(),
+            instr.ops.accumulate_ops);
+  EXPECT_EQ(registry.counter("sslic.cpa.ops.divide").value(),
+            instr.ops.divide_ops);
+  EXPECT_EQ(registry.counter("sslic.cpa.traffic.total").value(),
+            instr.traffic.total());
+  EXPECT_EQ(registry.counter("sslic.cpa.iterations").value(),
+            instr.iterations);
+}
+
+#if SSLIC_TRACING_ENABLED
+
+/// Minimal parser for the serializer's one-event-per-line output.
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  int tid = -1;
+  double ts = -1.0;
+  double dur = -1.0;
+  std::int64_t arg = trace::kNoArg;
+};
+
+std::vector<ParsedEvent> parse_trace(const std::string& json) {
+  const auto field = [](const std::string& line, const std::string& key,
+                        std::string* out) {
+    const std::string tag = "\"" + key + "\": ";
+    const std::size_t pos = line.find(tag);
+    if (pos == std::string::npos) return false;
+    std::size_t begin = pos + tag.size();
+    std::size_t end = begin;
+    if (line[begin] == '"') {
+      ++begin;
+      end = line.find('"', begin);
+    } else {
+      end = line.find_first_of(",}", begin);
+    }
+    *out = line.substr(begin, end - begin);
+    return true;
+  };
+
+  std::vector<ParsedEvent> events;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    ParsedEvent e;
+    std::string value;
+    if (!field(line, "ph", &value)) continue;
+    e.ph = value;
+    if (field(line, "name", &value)) e.name = value;
+    if (field(line, "tid", &value)) e.tid = std::stoi(value);
+    if (field(line, "ts", &value)) e.ts = std::stod(value);
+    if (field(line, "dur", &value)) e.dur = std::stod(value);
+    if (field(line, "n", &value)) e.arg = std::stoll(value);
+    events.push_back(e);
+  }
+  return events;
+}
+
+/// Serializes the current session and returns the parsed events. Disarms
+/// first so recording threads are quiescent, as serialize() requires.
+std::string serialize_session() {
+  trace::set_armed(false);
+  std::ostringstream os;
+  trace::serialize(os);
+  return os.str();
+}
+
+TEST(Trace, DisarmedSpansRecordNothing) {
+  trace::reset();
+  trace::set_armed(false);
+  { SSLIC_TRACE_SCOPE("should.not.appear"); }
+  const std::vector<ParsedEvent> events = parse_trace(serialize_session());
+  for (const ParsedEvent& e : events) EXPECT_NE(e.name, "should.not.appear");
+}
+
+TEST(Trace, NestedSpansPairAndContain) {
+  trace::reset();
+  trace::set_armed(true);
+  {
+    SSLIC_TRACE_SCOPE("outer", 7);
+    { SSLIC_TRACE_SCOPE("inner.a"); }
+    { SSLIC_TRACE_SCOPE("inner.b"); }
+  }
+  const std::vector<ParsedEvent> events = parse_trace(serialize_session());
+
+  const auto find = [&](const std::string& name) -> const ParsedEvent* {
+    for (const ParsedEvent& e : events)
+      if (e.name == name) return &e;
+    return nullptr;
+  };
+  const ParsedEvent* outer = find("outer");
+  const ParsedEvent* inner_a = find("inner.a");
+  const ParsedEvent* inner_b = find("inner.b");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner_a, nullptr);
+  ASSERT_NE(inner_b, nullptr);
+
+  EXPECT_EQ(outer->ph, "X");
+  EXPECT_EQ(outer->arg, 7);
+  EXPECT_EQ(outer->tid, inner_a->tid);
+  // Containment, with epsilon for the µs rounding of the serializer.
+  constexpr double kEps = 0.002;
+  for (const ParsedEvent* inner : {inner_a, inner_b}) {
+    EXPECT_GE(inner->ts, outer->ts - kEps);
+    EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur + kEps);
+  }
+  // inner.b begins after inner.a ends (sequential blocks).
+  EXPECT_GE(inner_b->ts, inner_a->ts + inner_a->dur - kEps);
+}
+
+TEST(Trace, SpansAcrossPoolThreadsSerializeWellFormed) {
+  trace::reset();
+  trace::set_armed(true);
+  ThreadPool pool(4);
+  pool.run_chunks(64, [](std::size_t c) {
+    SSLIC_TRACE_SCOPE("chunk", static_cast<std::int64_t>(c));
+  });
+  const std::string json = serialize_session();
+  const std::vector<ParsedEvent> events = parse_trace(json);
+
+  // Well-formed JSON shell (python -m json.tool validates this in CI).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  std::size_t chunk_events = 0;
+  std::map<int, double> last_end_by_tid;
+  for (const ParsedEvent& e : events) {
+    if (e.ph == "M") continue;  // thread_name metadata
+    EXPECT_EQ(e.ph, "X");
+    EXPECT_GE(e.ts, 0.0);
+    EXPECT_GE(e.dur, 0.0);
+    ASSERT_GE(e.tid, 0);
+    // Per-thread completion times are strictly increasing (the recorder
+    // monotonizes equal-nanosecond stamps).
+    const double end = e.ts + e.dur;
+    const auto it = last_end_by_tid.find(e.tid);
+    if (it != last_end_by_tid.end()) {
+      EXPECT_GT(end, it->second);
+    }
+    last_end_by_tid[e.tid] = end;
+    if (e.name == "chunk") ++chunk_events;
+  }
+  EXPECT_EQ(chunk_events, 64u);
+}
+
+TEST(Trace, ResetDropsRecordedEvents) {
+  trace::reset();
+  trace::set_armed(true);
+  { SSLIC_TRACE_SCOPE("ephemeral"); }
+  trace::set_armed(false);
+  trace::reset();
+  const std::vector<ParsedEvent> events = parse_trace(serialize_session());
+  for (const ParsedEvent& e : events) EXPECT_NE(e.name, "ephemeral");
+}
+
+TEST(Trace, DetailSpansRespectThreshold) {
+  trace::reset();
+  trace::set_armed(true);
+  trace::set_detail_level(0);
+  { SSLIC_TRACE_SCOPE_AT(1, "detail.skipped"); }
+  trace::set_detail_level(1);
+  { SSLIC_TRACE_SCOPE_AT(1, "detail.recorded"); }
+  trace::set_detail_level(0);
+  const std::vector<ParsedEvent> events = parse_trace(serialize_session());
+  bool recorded = false;
+  for (const ParsedEvent& e : events) {
+    EXPECT_NE(e.name, "detail.skipped");
+    if (e.name == "detail.recorded") recorded = true;
+  }
+  EXPECT_TRUE(recorded);
+}
+
+// Telemetry must not perturb: a traced golden run produces byte-identical
+// labels and centers to an untraced one.
+TEST(Trace, ArmedRunMatchesUntracedRun) {
+  SyntheticParams scene;
+  scene.width = 160;
+  scene.height = 120;
+  const GroundTruthImage gt = generate_synthetic(scene, 99);
+  SlicParams params;
+  params.num_superpixels = 64;
+  params.max_iterations = 4;
+  const CpaSlic slic(params);
+
+  trace::reset();
+  trace::set_armed(false);
+  const Segmentation plain = slic.segment(gt.image);
+  trace::set_armed(true);
+  const Segmentation traced = slic.segment(gt.image);
+  trace::set_armed(false);
+  trace::reset();
+
+  EXPECT_EQ(plain.labels.pixels(), traced.labels.pixels());
+  ASSERT_EQ(plain.centers.size(), traced.centers.size());
+  for (std::size_t i = 0; i < plain.centers.size(); ++i) {
+    EXPECT_EQ(plain.centers[i].x, traced.centers[i].x);
+    EXPECT_EQ(plain.centers[i].y, traced.centers[i].y);
+    EXPECT_EQ(plain.centers[i].L, traced.centers[i].L);
+  }
+}
+
+#endif  // SSLIC_TRACING_ENABLED
+
+}  // namespace
+}  // namespace sslic
