@@ -14,7 +14,7 @@
 //
 //   video_pipeline [--frames=10] [--width=640 --height=480]
 //                  [--superpixels=1200] [--ratio=0.5] [--threads=N]
-//                  [--trace=out.json] [--metrics=out.json]
+//                  [--trace=out.json] [--metrics=out.json] [--no-fuse]
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -25,6 +25,7 @@
 #include <algorithm>
 
 #include "color/color_convert.h"
+#include "common/alloc_counter.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/simd.h"
@@ -38,9 +39,14 @@
 #include "image/draw.h"
 #include "image/io.h"
 #include "metrics/segmentation_metrics.h"
+#include "slic/fusion.h"
 #include "slic/hw_datapath.h"
 #include "slic/slic_baseline.h"
 #include "slic/temporal.h"
+
+// Count every heap allocation so the summary can prove the warm-started
+// pipeline's steady state (frame 2 onward) allocates nothing per frame.
+SSLIC_INSTALL_COUNTING_ALLOCATOR();
 
 namespace {
 
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
               << "' (expected scalar|sse2|avx2|neon)\n";
     return 2;
   }
+  if (args.has("no-fuse")) set_fusion(false);
   const std::string trace_path = args.get_string("trace", "");
   const std::string metrics_path = args.get_string("metrics", "");
   if (!trace_path.empty()) {
@@ -107,6 +114,7 @@ int main(int argc, char** argv) {
             << frames << " frames, K=" << superpixels << ", S-SLIC(" << ratio
             << ") golden model, " << ThreadPool::global().threads()
             << " thread(s), simd=" << sslic::simd::isa_name(sslic::simd::preferred_isa())
+            << ", fused iteration " << (fusion_enabled() ? "on" : "off")
             << "\n\n";
 
   HwConfig config;
@@ -165,6 +173,10 @@ int main(int argc, char** argv) {
   LabelImage previous;
   double total_ms = 0.0;
   double warm_total_ms = 0.0;
+  // Heap allocations per warm frame, counted tightly around next_frame.
+  // Frame 0 is cold (buffers grow); from frame 2 on the count must be 0.
+  std::vector<std::uint64_t> warm_allocs;
+  warm_allocs.reserve(static_cast<std::size_t>(frames));
   for (int f = 0; f < frames; ++f) {
     SSLIC_TRACE_SCOPE("frame", f);
     const auto fi = static_cast<std::size_t>(f);
@@ -181,12 +193,15 @@ int main(int argc, char** argv) {
 
     Stopwatch warm_watch;
     double warm_ms = 0.0;
-    Segmentation warm;
+    const Segmentation* warm_ptr = nullptr;
     {
       SSLIC_TRACE_SCOPE("frame.warm", f);
-      warm = temporal.next_frame(stream[fi]);
+      const std::uint64_t allocs_before = alloc_counter::allocations();
+      warm_ptr = &temporal.next_frame(stream[fi]);
+      warm_allocs.push_back(alloc_counter::allocations() - allocs_before);
       warm_ms = warm_watch.elapsed_ms();
     }
+    const Segmentation& warm = *warm_ptr;
     warm_total_ms += warm_ms;
     warm_hist.record(warm_ms);
 
@@ -210,6 +225,19 @@ int main(int argc, char** argv) {
             << " fps on this CPU; warm-started software pipeline: "
             << Table::num(1000.0 * frames / warm_total_ms, 1) << " fps\n";
 
+  // Steady-state allocation report: all per-frame buffers (Lab conversion,
+  // labels, sigmas, connectivity scratch) live in TemporalSlic and are
+  // reused, so frames 2..N must not touch the heap at all.
+  if (warm_allocs.size() > 2) {
+    std::uint64_t steady = 0;
+    for (std::size_t f = 2; f < warm_allocs.size(); ++f) steady += warm_allocs[f];
+    std::cout << "warm pipeline heap allocations: frame 0 (cold) "
+              << warm_allocs[0] << ", frames 2.." << warm_allocs.size() - 1
+              << " total " << steady
+              << (steady == 0 ? " (zero-allocation steady state)\n"
+                              : " (expected 0 — buffer reuse regressed!)\n");
+  }
+
   // --- Batch mode: two-stage software pipeline. ---
   // Stage A (sRGB->Lab) of frame N overlaps stage B (clustering) of frame
   // N-1. Conversion runs on its own thread: while the pool is owned by the
@@ -223,12 +251,18 @@ int main(int argc, char** argv) {
     sw_params.max_iterations = 9;
     const CpaSlic sw(sw_params);
 
+    // The conversion buffer, segmentation output, and iteration scratch are
+    // hoisted out of both loops: after the first frame every buffer is
+    // already right-sized and the loops run allocation-free.
     Stopwatch sequential_watch;
     std::vector<int> sequential_label_counts;
+    LabImage lab;
+    Segmentation seg;
+    IterationScratch scratch;
     for (const RgbImage& frame : stream) {
       SSLIC_TRACE_SCOPE("frame.batch_sequential");
-      const LabImage lab = srgb_to_lab(frame);
-      const Segmentation seg = sw.segment_lab(lab);
+      srgb_to_lab(frame, lab);
+      sw.segment_lab_into(lab, seg, scratch);
       sequential_label_counts.push_back(count_labels(seg.labels));
     }
     const double sequential_ms = sequential_watch.elapsed_ms();
@@ -236,22 +270,22 @@ int main(int argc, char** argv) {
     Stopwatch pipeline_watch;
     std::vector<int> pipelined_label_counts;
     LabImage current = srgb_to_lab(stream.front());
+    LabImage next;
     for (std::size_t f = 0; f < stream.size(); ++f) {
       SSLIC_TRACE_SCOPE("frame.batch_pipelined",
                         static_cast<std::int64_t>(f));
-      LabImage next;
       std::thread prefetch;
       const ThreadJoiner prefetch_guard{prefetch};
       if (f + 1 < stream.size()) {
         prefetch = std::thread([&] {
           trace::set_thread_name("convert-prefetch");
-          next = srgb_to_lab(stream[f + 1]);
+          srgb_to_lab(stream[f + 1], next);
         });
       }
-      const Segmentation seg = sw.segment_lab(current);
+      sw.segment_lab_into(current, seg, scratch);
       pipelined_label_counts.push_back(count_labels(seg.labels));
       if (prefetch.joinable()) prefetch.join();
-      current = std::move(next);
+      std::swap(current, next);
     }
     const double pipeline_ms = pipeline_watch.elapsed_ms();
 

@@ -56,8 +56,15 @@ LabF srgb_to_lab(Rgb8 rgb) {
 }
 
 LabImage srgb_to_lab(const RgbImage& image) {
+  LabImage lab;
+  srgb_to_lab(image, lab);
+  return lab;
+}
+
+void srgb_to_lab(const RgbImage& image, LabImage& lab) {
   SSLIC_TRACE_SCOPE("color.srgb_to_lab");
-  LabImage lab(image.width(), image.height());
+  if (lab.width() != image.width() || lab.height() != image.height())
+    lab = LabImage(image.width(), image.height());
   // Pure per-pixel map: identical output for any range partition.
   parallel_for(0, static_cast<std::int64_t>(image.size()),
                [&](std::int64_t lo, std::int64_t hi) {
@@ -67,7 +74,6 @@ LabImage srgb_to_lab(const RgbImage& image) {
                    lab.pixels()[idx] = srgb_to_lab(image.pixels()[idx]);
                  }
                });
-  return lab;
 }
 
 namespace {

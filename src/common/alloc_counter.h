@@ -1,0 +1,91 @@
+// Heap-allocation counter for zero-allocation assertions.
+//
+// A translation unit that expands SSLIC_INSTALL_COUNTING_ALLOCATOR() at
+// namespace scope replaces the global operator new/delete family for its
+// whole binary with malloc/free-backed versions that bump a counter on
+// every allocation. tests/test_fused.cpp uses it to prove TemporalSlic's
+// steady state allocates nothing per frame; examples/video_pipeline.cpp
+// uses it for the per-frame allocation column of its summary.
+//
+// The macro must be expanded in exactly one TU of a binary (ODR: these are
+// definitions of the global replacement functions). Counting uses relaxed
+// atomics — the counter is read only at quiescent points, never used for
+// synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace sslic::alloc_counter {
+
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+/// Total operator-new calls (all variants) since process start.
+inline std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+/// Counts allocations performed by `fn()`.
+template <typename Fn>
+std::uint64_t count_allocations(Fn&& fn) {
+  const std::uint64_t before = allocations();
+  fn();
+  return allocations() - before;
+}
+
+}  // namespace sslic::alloc_counter
+
+// clang-format off
+#define SSLIC_INSTALL_COUNTING_ALLOCATOR()                                     \
+  static void* sslic_counted_alloc(std::size_t size, std::size_t align) {      \
+    sslic::alloc_counter::g_allocations.fetch_add(1,                           \
+        std::memory_order_relaxed);                                            \
+    if (size == 0) size = 1;                                                   \
+    void* p = align <= alignof(std::max_align_t)                               \
+                  ? std::malloc(size)                                          \
+                  : std::aligned_alloc(align, (size + align - 1) / align * align); \
+    return p;                                                                  \
+  }                                                                            \
+  void* operator new(std::size_t size) {                                       \
+    void* p = sslic_counted_alloc(size, alignof(std::max_align_t));            \
+    if (p == nullptr) throw std::bad_alloc{};                                  \
+    return p;                                                                  \
+  }                                                                            \
+  void* operator new[](std::size_t size) { return ::operator new(size); }      \
+  void* operator new(std::size_t size, std::align_val_t align) {               \
+    void* p = sslic_counted_alloc(size, static_cast<std::size_t>(align));      \
+    if (p == nullptr) throw std::bad_alloc{};                                  \
+    return p;                                                                  \
+  }                                                                            \
+  void* operator new[](std::size_t size, std::align_val_t align) {             \
+    return ::operator new(size, align);                                        \
+  }                                                                            \
+  void* operator new(std::size_t size, const std::nothrow_t&) noexcept {       \
+    return sslic_counted_alloc(size, alignof(std::max_align_t));               \
+  }                                                                            \
+  void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {     \
+    return sslic_counted_alloc(size, alignof(std::max_align_t));               \
+  }                                                                            \
+  void operator delete(void* p) noexcept { std::free(p); }                     \
+  void operator delete[](void* p) noexcept { std::free(p); }                   \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }        \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }      \
+  void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }   \
+  void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); } \
+  void operator delete(void* p, std::size_t, std::align_val_t) noexcept {      \
+    std::free(p);                                                              \
+  }                                                                            \
+  void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {    \
+    std::free(p);                                                              \
+  }                                                                            \
+  void operator delete(void* p, const std::nothrow_t&) noexcept {              \
+    std::free(p);                                                              \
+  }                                                                            \
+  void operator delete[](void* p, const std::nothrow_t&) noexcept {            \
+    std::free(p);                                                              \
+  }                                                                            \
+  static_assert(true, "require a trailing semicolon")
+// clang-format on

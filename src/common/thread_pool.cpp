@@ -37,7 +37,7 @@ struct ThreadPool::Impl {
   std::uint64_t generation = 0;  // bumped per job; workers wait for a bump
   bool shutting_down = false;
 
-  const std::function<void(std::size_t)>* fn = nullptr;
+  ChunkFn fn;  // non-owning; valid while the submitting run_chunks blocks
   std::size_t num_chunks = 0;
   std::atomic<std::size_t> next_chunk{0};
   std::size_t done_chunks = 0;   // guarded by mutex
@@ -86,7 +86,7 @@ struct ThreadPool::Impl {
       if (c >= num_chunks) break;
       if (!failed.load(std::memory_order_relaxed)) {
         try {
-          (*fn)(c);
+          fn(c);
         } catch (...) {
           bool expected = false;
           if (failed.compare_exchange_strong(expected, true)) {
@@ -154,8 +154,7 @@ ThreadPool::~ThreadPool() {
   delete impl_;
 }
 
-void ThreadPool::run_chunks(std::size_t num_chunks,
-                            const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_chunks(std::size_t num_chunks, ChunkFn fn) {
   if (num_chunks == 0) return;
   // Serial fallbacks: one thread, one chunk, or a nested call from a chunk
   // body already running on this pool (a worker parking on work_done, or
@@ -186,7 +185,7 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
     // with this reset, so a worker either drains before the reset or
     // observes the fully initialized new job.
     impl.work_done.wait(lock, [&] { return impl.busy_workers == 0; });
-    impl.fn = &fn;
+    impl.fn = fn;
     impl.num_chunks = num_chunks;
     impl.next_chunk.store(0, std::memory_order_relaxed);
     impl.done_chunks = 0;
@@ -208,7 +207,7 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
     impl.work_done.wait(lock, [&] {
       return impl.done_chunks >= num_chunks && impl.busy_workers == 0;
     });
-    impl.fn = nullptr;
+    impl.fn = ChunkFn{};
     if (impl.exception != nullptr) {
       std::exception_ptr e = impl.exception;
       impl.exception = nullptr;

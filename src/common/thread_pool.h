@@ -25,11 +25,42 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 namespace sslic {
+
+/// Non-owning reference to a `void(std::size_t chunk)` callable. run_chunks
+/// is a blocking call, so the referenced callable always outlives the job —
+/// a type-erased pointer pair is enough, and unlike `std::function` it
+/// never heap-allocates (capturing lambdas larger than the small-buffer
+/// threshold would otherwise cost one allocation per parallel region, which
+/// the zero-allocation video steady state cannot afford).
+class ChunkFn {
+ public:
+  ChunkFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, ChunkFn> &&
+                std::is_invocable_v<const std::decay_t<F>&, std::size_t>>>
+  ChunkFn(const F& fn)  // NOLINT(google-explicit-constructor)
+      : ctx_(&fn), call_(&call_impl<F>) {}
+
+  void operator()(std::size_t chunk) const { call_(ctx_, chunk); }
+
+  [[nodiscard]] explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  template <typename F>
+  static void call_impl(const void* ctx, std::size_t chunk) {
+    (*static_cast<const F*>(ctx))(chunk);
+  }
+
+  const void* ctx_ = nullptr;
+  void (*call_)(const void*, std::size_t) = nullptr;
+};
 
 /// Persistent pool of `threads - 1` workers; the caller participates as the
 /// remaining thread. `threads == 1` spawns no workers at all.
@@ -67,9 +98,9 @@ class ThreadPool {
   /// call from inside a chunk body — whether that body runs on a pool
   /// worker or on the participating caller thread — by degrading to serial
   /// inline execution (one level of parallelism, no deadlock, no state
-  /// corruption).
-  void run_chunks(std::size_t num_chunks,
-                  const std::function<void(std::size_t)>& fn);
+  /// corruption). The callable behind `fn` must stay alive for the call
+  /// (always true for a lambda written at the call site).
+  void run_chunks(std::size_t num_chunks, ChunkFn fn);
 
   /// The process-wide pool used by `parallel_for` / `parallel_reduce`.
   static ThreadPool& global();
@@ -136,7 +167,7 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body) {
     body(begin, end);
     return;
   }
-  const std::function<void(std::size_t)> fn = [&](std::size_t c) {
+  const auto fn = [&](std::size_t c) {
     const auto [lo, hi] = detail::chunk_bounds(begin, end, chunks, c);
     if (lo < hi) body(lo, hi);
   };
@@ -163,7 +194,7 @@ Partial parallel_reduce(std::int64_t begin, std::int64_t end, Body&& body,
     return result;
   }
   std::vector<Partial> partials(chunks);
-  const std::function<void(std::size_t)> fn = [&](std::size_t c) {
+  const auto fn = [&](std::size_t c) {
     const auto [lo, hi] = detail::chunk_bounds(begin, end, chunks, c);
     if (lo < hi) body(partials[c], lo, hi);
   };

@@ -5,9 +5,15 @@
 namespace sslic {
 
 LabPlanes split_lab_planes(const LabImage& lab) {
+  LabPlanes planes;
+  split_lab_planes(lab, planes);
+  return planes;
+}
+
+void split_lab_planes(const LabImage& lab, LabPlanes& planes) {
   const int w = lab.width();
   const int h = lab.height();
-  LabPlanes planes(w, h);
+  if (planes.width() != w || planes.height() != h) planes = LabPlanes(w, h);
   const LabF* src = lab.data();
   float* dl = planes.L.data();
   float* da = planes.a.data();
@@ -23,7 +29,6 @@ LabPlanes split_lab_planes(const LabImage& lab) {
       db[i] = src[i].b;
     }
   });
-  return planes;
 }
 
 }  // namespace sslic

@@ -33,4 +33,8 @@ struct LabPlanes {
 /// a pure data-layout change — every float is copied bit-for-bit).
 LabPlanes split_lab_planes(const LabImage& lab);
 
+/// In-place variant: splits into `planes`, resizing only when the
+/// dimensions change (allocation-free at steady state).
+void split_lab_planes(const LabImage& lab, LabPlanes& planes);
+
 }  // namespace sslic

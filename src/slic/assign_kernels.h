@@ -1,6 +1,6 @@
 // Vectorized distance/assignment kernels with runtime ISA dispatch.
 //
-// These three row kernels are the software hot path of every segmenter in
+// These row kernels are the software hot path of every segmenter in
 // the family — the per-pixel 5-D distance + argmin that the accelerator
 // implements as parallel distance calculators feeding a minimum tree:
 //
@@ -10,6 +10,11 @@
 //                             tile row, with the round-robin subset mask.
 //   * assign_candidates_row_u8  The 8-bit integer datapath variant of the
 //                             same (HwSlic golden model).
+//   * accumulate_row          Fused-iteration sigma accumulation: scatters
+//                             one row's Lab/x/y contributions into the
+//                             per-label sigma registers (the software
+//                             analogue of the accelerator's tile-resident
+//                             cluster update unit).
 //
 // Bit-identical contract (carried over from the threading layer, DESIGN.md
 // "Parallel execution"): every pixel's arithmetic is lane-independent and
@@ -33,6 +38,7 @@
 #include <cstdint>
 
 #include "common/simd.h"
+#include "slic/center_update.h"
 
 namespace sslic::kernels {
 
@@ -95,6 +101,17 @@ struct KernelTable {
                                    std::int32_t dist_shift,
                                    const std::uint8_t* active,
                                    std::int32_t* labels);
+
+  /// Fused-iteration sigma scatter: for i in [0, count), adds pixel
+  /// (x0+i, y)'s Lab color and coordinates into sigmas[labels[i]] in the
+  /// exact field order of Sigma::add (L, a, b, x, y, count). Vector
+  /// backends widen `kLanesF64` floats at a time but always scatter in
+  /// ascending lane order — the f32->f64 widening is exact and the
+  /// accumulation order matches the scalar loop, so sigma sums are
+  /// bit-equal to the scalar reference on every backend.
+  void (*accumulate_row)(const float* L, const float* a, const float* b,
+                         std::int32_t x0, std::int32_t count, std::int32_t y,
+                         const std::int32_t* labels, Sigma* sigmas);
 };
 
 /// True when the backend for `isa` was compiled into this binary (the

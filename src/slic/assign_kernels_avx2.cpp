@@ -98,6 +98,9 @@ struct Avx2Backend {
   static MI mask_i32_from_bytes(const std::uint8_t* p) {
     return _mm256_cmpgt_epi32(load_u8_i32(p), _mm256_setzero_si256());
   }
+  static bool all_eq_i32(VI a, VI b) {
+    return _mm256_movemask_epi8(_mm256_cmpeq_epi32(a, b)) == -1;
+  }
 };
 
 }  // namespace

@@ -18,7 +18,8 @@
 //     set1_i32, iota_i32, add_i32/sub_i32/mul_i32, mulw_shr8 (exact
 //     (int64)weight * v >> 8 per lane, low 32 bits kept), sra_i32
 //     (arithmetic shift by a uniform runtime count), min_i32, cmplt_i32,
-//     select_i32, mask_i32_from_bytes.
+//     select_i32, mask_i32_from_bytes, all_eq_i32 (every lane of a equals
+//     the corresponding lane of b).
 //
 // The distance arithmetic mirrors DistanceCalculator::squared and
 // HwSlic::integer_distance term for term:
@@ -85,6 +86,7 @@ struct ScalarBackend {
   static MI cmplt_i32(VI a, VI b) { return a < b; }
   static VI select_i32(MI m, VI a, VI b) { return m ? a : b; }
   static MI mask_i32_from_bytes(const std::uint8_t* p) { return *p != 0; }
+  static bool all_eq_i32(VI a, VI b) { return a == b; }
 };
 
 template <typename B>
@@ -243,11 +245,73 @@ void assign_candidates_row_u8_impl(
   }
 }
 
+// Fused-iteration sigma accumulation, bit-equal to the reference per-pixel
+// loop (for each pixel, in ascending order: s.L += L; s.a += a; s.b += b;
+// s.x += x; s.y += y; s.count += 1). Two reorderings make it fast, neither
+// of which can change a single bit:
+//
+//  1. Run batching. A row is a sequence of label runs (a superpixel is ~S
+//     pixels wide), so the row is processed run by run with the sigma's
+//     L/a/b fields held in registers for the whole run. The per-FIELD add
+//     sequence — the only thing IEEE rounding depends on — is untouched:
+//     field chains are independent, so interleaving across fields is free,
+//     and `reg = s.L; reg += l_i...; s.L = reg` is the same chain as
+//     `s.L += l_i` repeated. (f32 -> f64 widening is exact.)
+//  2. Closed forms for the integer fields. x, y and count only ever hold
+//     integers (well under 2^53), so every partial sum in the reference
+//     loop is exact — the arithmetic-series total for x, y*len, and
+//     count+len are the same doubles the per-pixel adds produce.
+//
+// The summation itself — three dependent double-add chains per run — is
+// latency-bound, not throughput-bound, so SIMD widening doesn't pay there.
+// What the vector backends do accelerate is finding the run END: the label
+// scan compares kLanesI32 labels per step (all_eq_i32 against the splat)
+// instead of one, which removes the ~1 cycle/pixel scalar scan from the
+// critical path. The scan only locates boundaries — the pixels summed and
+// their order are unchanged, so the output stays bit-identical.
+template <typename B>
+void accumulate_row_impl(const float* L, const float* a, const float* b,
+                         std::int32_t x0, std::int32_t count, std::int32_t y,
+                         const std::int32_t* labels, Sigma* sigmas) {
+  constexpr std::int32_t kL = B::kLanesI32;
+  const double yd = static_cast<double>(y);
+  std::int32_t i = 0;
+  while (i < count) {
+    const std::int32_t label = labels[i];
+    std::int32_t j = i + 1;
+    if constexpr (kL > 1) {
+      const auto lv = B::set1_i32(label);
+      while (j + kL <= count && B::all_eq_i32(B::loadu_i32(labels + j), lv))
+        j += kL;
+    }
+    while (j < count && labels[j] == label) ++j;
+    Sigma& s = sigmas[static_cast<std::size_t>(label)];
+    double sl = s.L;
+    double sa = s.a;
+    double sb = s.b;
+    for (std::int32_t k = i; k < j; ++k) {
+      sl += static_cast<double>(L[k]);
+      sa += static_cast<double>(a[k]);
+      sb += static_cast<double>(b[k]);
+    }
+    s.L = sl;
+    s.a = sa;
+    s.b = sb;
+    const std::int64_t len = j - i;
+    const std::int64_t first = x0 + i;
+    const std::int64_t last = x0 + j - 1;
+    s.x += static_cast<double>((first + last) * len / 2);
+    s.y += yd * static_cast<double>(len);
+    s.count += static_cast<std::uint64_t>(len);
+    i = j;
+  }
+}
+
 /// Builds one backend's dispatch table from the template instantiations.
 template <typename B>
 KernelTable make_table() {
   return KernelTable{&assign_center_row_impl<B>, &assign_candidates_row_impl<B>,
-                     &assign_candidates_row_u8_impl<B>};
+                     &assign_candidates_row_u8_impl<B>, &accumulate_row_impl<B>};
 }
 
 }  // namespace sslic::kernels

@@ -76,6 +76,14 @@ struct NeonBackend {
   static MI mask_i32_from_bytes(const std::uint8_t* p) {
     return vcgtq_s32(load_u8_i32(p), vdupq_n_s32(0));
   }
+  static bool all_eq_i32(VI a, VI b) {
+    // armv7-safe all-lanes reduction (no vminvq on 32-bit targets).
+    const uint32x4_t eq = vceqq_u32(vreinterpretq_u32_s32(a),
+                                    vreinterpretq_u32_s32(b));
+    uint32x2_t r = vand_u32(vget_low_u32(eq), vget_high_u32(eq));
+    r = vand_u32(r, vrev64_u32(r));
+    return vget_lane_u32(r, 0) == 0xFFFFFFFFu;
+  }
 };
 
 }  // namespace

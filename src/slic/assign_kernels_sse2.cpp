@@ -112,6 +112,9 @@ struct Sse2Backend {
   static MI mask_i32_from_bytes(const std::uint8_t* p) {
     return _mm_cmpgt_epi32(load_u8_i32(p), _mm_setzero_si128());
   }
+  static bool all_eq_i32(VI a, VI b) {
+    return _mm_movemask_epi8(_mm_cmpeq_epi32(a, b)) == 0xFFFF;
+  }
 };
 
 }  // namespace

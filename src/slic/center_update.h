@@ -30,8 +30,30 @@ struct Sigma {
     count += 1;
   }
 
+  /// Field-order merge (L, a, b, x, y, count — the same order `add` uses).
+  /// Every reduction in the codebase folds partials through this operator
+  /// so the IEEE summation sequence is fixed by construction.
+  Sigma& operator+=(const Sigma& other) {
+    L += other.L;
+    a += other.a;
+    b += other.b;
+    x += other.x;
+    y += other.y;
+    count += other.count;
+    return *this;
+  }
+
   void clear() { *this = Sigma{}; }
 };
+
+/// Folds one partial sigma pool into the running totals, element-wise in
+/// ascending center order. Both pools must have the same size. Shared by
+/// the CPA two-pass reduction and the fused band merge — one definition,
+/// one operation order, bit-identical centers either way.
+inline void merge_sigmas(std::vector<Sigma>& into,
+                         const std::vector<Sigma>& from) {
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+}
 
 /// Recomputes `centers[i]` from `sigmas[i]` for every i with
 /// `active[i] && sigmas[i].count > 0`; pass an empty `active` to update all.

@@ -14,7 +14,8 @@ constexpr int kDy[4] = {0, 0, -1, 1};
 }  // namespace
 
 ConnectivityResult enforce_connectivity(LabelImage& labels,
-                                        int expected_superpixels) {
+                                        int expected_superpixels,
+                                        ConnectivityScratch* scratch) {
   SSLIC_TRACE_SCOPE("slic.connectivity");
   SSLIC_CHECK(expected_superpixels >= 1);
   const int w = labels.width();
@@ -24,8 +25,19 @@ ConnectivityResult enforce_connectivity(LabelImage& labels,
   const std::size_t min_size =
       std::max<std::size_t>(1, n / static_cast<std::size_t>(expected_superpixels) / 4);
 
-  LabelImage out(w, h, -1);
-  std::vector<std::int32_t> stack;  // flood-fill worklist of flat indices
+  ConnectivityScratch local_scratch;
+  ConnectivityScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+  if (sc.out.width() != w || sc.out.height() != h) {
+    sc.out = LabelImage(w, h, -1);
+    // Worst case is one component spanning the whole image; reserving it up
+    // front keeps every later call at this size allocation-free.
+    sc.stack.reserve(n);
+    sc.members.reserve(n);
+  } else {
+    sc.out.fill(-1);
+  }
+  LabelImage& out = sc.out;
+  std::vector<std::int32_t>& stack = sc.stack;
   ConnectivityResult result;
   std::int32_t next_label = 0;
 
@@ -49,7 +61,9 @@ ConnectivityResult enforce_connectivity(LabelImage& labels,
       out(x, y) = next_label;
       stack.clear();
       stack.push_back(static_cast<std::int32_t>(y) * w + x);
-      std::vector<std::int32_t> member_indices{stack.back()};
+      std::vector<std::int32_t>& member_indices = sc.members;
+      member_indices.clear();
+      member_indices.push_back(stack.back());
       while (!stack.empty()) {
         const std::int32_t flat = stack.back();
         stack.pop_back();
@@ -78,7 +92,9 @@ ConnectivityResult enforce_connectivity(LabelImage& labels,
     }
   }
 
-  labels = std::move(out);
+  // Swap instead of move: the caller gets the relabelled plane and the
+  // scratch keeps a right-sized buffer for the next frame.
+  std::swap(labels, out);
   result.final_label_count = next_label;
   return result;
 }

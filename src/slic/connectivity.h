@@ -7,6 +7,9 @@
 // are absorbed into the previously-labelled adjacent component.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "image/image.h"
 
 namespace sslic {
@@ -17,11 +20,26 @@ struct ConnectivityResult {
   std::size_t pixels_moved = 0; ///< pixels whose label changed by merging
 };
 
+/// Reusable working buffers of enforce_connectivity. A caller that keeps
+/// one of these across frames (e.g. TemporalSlic's IterationScratch) makes
+/// the pass allocation-free at steady state: `stack` and `members` are
+/// reserved to the worst case (one component covering the image) on the
+/// first call per image size, and the relabelled output plane is recycled
+/// by swapping it with the caller's label image.
+struct ConnectivityScratch {
+  LabelImage out;
+  std::vector<std::int32_t> stack;    ///< flood-fill worklist (flat indices)
+  std::vector<std::int32_t> members;  ///< current component's flat indices
+};
+
 /// Enforces 4-connectivity in place. `expected_superpixels` sets the
 /// minimum-fragment threshold to (N / expected_superpixels) / 4, matching
 /// the reference SLIC implementation. Output labels are compact (0..n-1).
+/// `scratch` is optional; passing one amortizes all working allocations
+/// across calls.
 ConnectivityResult enforce_connectivity(LabelImage& labels,
-                                        int expected_superpixels);
+                                        int expected_superpixels,
+                                        ConnectivityScratch* scratch = nullptr);
 
 /// True when every label forms a single 4-connected component.
 bool is_fully_connected(const LabelImage& labels);

@@ -1,0 +1,48 @@
+#include "slic/fusion.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace sslic {
+namespace {
+
+// -1 = no override (use the environment), 0 = forced off, 1 = forced on.
+std::atomic<int> g_override{-1};
+
+bool env_default() {
+  static const bool value = [] {
+    const char* env = std::getenv("SSLIC_FUSE");
+    if (env == nullptr) return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+  }();
+  return value;
+}
+
+}  // namespace
+
+bool fusion_enabled() {
+  const int override_value = g_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return override_value != 0;
+  return env_default();
+}
+
+void set_fusion(bool enabled) {
+  g_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clear_fusion_override() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+FusionGuard::FusionGuard(bool enabled)
+    : previous_override_(g_override.load(std::memory_order_relaxed)) {
+  set_fusion(enabled);
+}
+
+FusionGuard::~FusionGuard() {
+  g_override.store(previous_override_, std::memory_order_relaxed);
+}
+
+}  // namespace sslic

@@ -94,13 +94,19 @@ std::vector<CandidateList> build_candidate_map(const CenterGrid& grid) {
 }
 
 LabelImage initial_labels(const CenterGrid& grid) {
-  LabelImage labels(grid.width(), grid.height());
+  LabelImage labels;
+  initial_labels(grid, labels);
+  return labels;
+}
+
+void initial_labels(const CenterGrid& grid, LabelImage& labels) {
+  if (labels.width() != grid.width() || labels.height() != grid.height())
+    labels = LabelImage(grid.width(), grid.height());
   for (int y = 0; y < grid.height(); ++y) {
     const int gy = grid.cell_y(y);
     for (int x = 0; x < grid.width(); ++x)
       labels(x, y) = grid.center_index(grid.cell_x(x), gy);
   }
-  return labels;
 }
 
 }  // namespace sslic

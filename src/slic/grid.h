@@ -69,4 +69,8 @@ std::vector<CandidateList> build_candidate_map(const CenterGrid& grid);
 /// grid cell (the accelerator initializes assignments before iterating).
 LabelImage initial_labels(const CenterGrid& grid);
 
+/// In-place variant: fills `labels`, resizing only when the dimensions
+/// change (allocation-free at steady state).
+void initial_labels(const CenterGrid& grid, LabelImage& labels);
+
 }  // namespace sslic

@@ -112,6 +112,13 @@ struct Instrumentation {
   MemTraffic traffic;
   std::uint64_t iterations = 0;
   std::uint64_t tiles_skipped = 0;  ///< preemptive extension: tiles skipped
+  /// True when the run used the fused single-pass iteration loop. Fused
+  /// measured-software accounting drops the old update pass's redundant
+  /// image_read/label_read (the data is already resident from assignment);
+  /// every other counter is identical to the two-pass accounting. The
+  /// paper-model tables (Table 1/2, abstract claims) pin fusion off so
+  /// their analytic numbers keep the paper's unfused convention.
+  bool fused = false;
 
   /// Per-iteration averages (0 when no iteration ran).
   [[nodiscard]] double distance_ops_per_iteration() const {

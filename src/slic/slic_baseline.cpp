@@ -13,26 +13,11 @@
 #include "slic/center_update.h"
 #include "slic/connectivity.h"
 #include "slic/distance.h"
+#include "slic/fusion.h"
 #include "slic/grid.h"
 #include "slic/subset_schedule.h"
 
 namespace sslic {
-namespace {
-
-/// Clamped 2Sx2S scan rectangle of one center.
-struct ScanWindow {
-  int x0 = 0;
-  int x1 = -1;
-  int y0 = 0;
-  int y1 = -1;
-
-  [[nodiscard]] std::uint64_t pixels() const {
-    return static_cast<std::uint64_t>(x1 - x0 + 1) *
-           static_cast<std::uint64_t>(y1 - y0 + 1);
-  }
-};
-
-}  // namespace
 
 CpaSlic::CpaSlic(SlicParams params) : params_(params) {
   SSLIC_CHECK(params_.num_superpixels >= 1);
@@ -57,6 +42,17 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
                                   const IterationCallback& callback,
                                   Instrumentation* instrumentation,
                                   PhaseTimer* phases) const {
+  Segmentation result;
+  IterationScratch scratch;
+  segment_lab_into(lab, result, scratch, callback, instrumentation, phases);
+  return result;
+}
+
+void CpaSlic::segment_lab_into(const LabImage& lab, Segmentation& result,
+                               IterationScratch& scratch,
+                               const IterationCallback& callback,
+                               Instrumentation* instrumentation,
+                               PhaseTimer* phases) const {
   SSLIC_CHECK(!lab.empty());
   SSLIC_TRACE_SCOPE("cpa.segment");
   const int w = lab.width();
@@ -66,6 +62,8 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
   Instrumentation local_instr;
   Instrumentation& instr = instrumentation != nullptr ? *instrumentation : local_instr;
   instr = Instrumentation{};
+  const bool fused = fusion_enabled();
+  instr.fused = fused;
 
   Stopwatch init_watch;
   trace::Interval init_span;
@@ -74,14 +72,18 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
   const DistanceCalculator dist(params_.compactness, spacing);
   const SubsetSchedule schedule = SubsetSchedule::from_ratio(params_.subsample_ratio);
   const int num_centers = grid.num_centers();
+  const auto num_centers_z = static_cast<std::size_t>(num_centers);
 
-  Segmentation result;
   result.centers = seed_centers(grid, lab, params_.perturb_centers);
-  result.labels = initial_labels(grid);
+  initial_labels(grid, result.labels);
+  result.iterations_run = 0;
+  result.trace.clear();
+  result.trace.reserve(static_cast<std::size_t>(params_.max_iterations));
 
   // Persistent minimum-distance buffer ("two memory buffers as large as the
   // image", paper Section 2). For full SLIC it is reset every iteration.
-  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  std::vector<double>& min_dist = scratch.min_dist;
+  min_dist.assign(n, std::numeric_limits<double>::infinity());
   const bool subsampled = schedule.count() > 1;
   if (subsampled) {
     // Subsampled CPA keeps the buffer across iterations, so it must start
@@ -102,14 +104,30 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
     instr.ops.distance_evals += n;
   }
 
-  std::vector<Sigma> sigmas(static_cast<std::size_t>(num_centers));
-  std::vector<std::uint8_t> active(static_cast<std::size_t>(num_centers), 1);
-  std::vector<ScanWindow> windows(static_cast<std::size_t>(num_centers));
+  std::vector<Sigma>& sigmas = scratch.sigmas;
+  sigmas.assign(num_centers_z, Sigma{});
+  std::vector<std::uint8_t>& active = scratch.active;
+  active.assign(num_centers_z, 1);
+  std::vector<ScanWindow>& windows = scratch.windows;
+  windows.resize(num_centers_z);
+
+  // Fused iteration: the image is split into the same fixed band budget the
+  // two-pass parallel_reduce uses (kReduceChunks, clamped to the height).
+  // Band boundaries depend only on the image height, never on the thread
+  // count, so the per-band sigma partials — and the ascending-order merge
+  // below — rebuild the exact floating-point reduction tree of the
+  // two-pass code. Labels are band-partition-invariant anyway (each pixel
+  // sees its candidate centers in ascending index order regardless of the
+  // split), so both paths are bit-identical end to end.
+  const std::size_t bands =
+      std::min<std::size_t>(detail::kReduceChunks, static_cast<std::size_t>(h));
+  if (fused) scratch.ensure_band_sigmas(bands, num_centers_z);
 
   // One planar split per frame feeds the vectorized assignment kernels
   // (SoA channel planes; see image/planar.h). Resolved kernel table is
   // fetched once — dispatch never runs inside the pixel loops.
-  const LabPlanes planes = split_lab_planes(lab);
+  split_lab_planes(lab, scratch.planes);
+  const LabPlanes& planes = scratch.planes;
   const kernels::KernelTable& kt = kernels::active();
   const double spatial_weight = dist.spatial_weight();
   if (phases != nullptr) phases->add(kPhaseOther, init_watch.elapsed_ms());
@@ -129,11 +147,16 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
     Stopwatch assign_watch;
     trace::Interval assign_span;
     if (!subsampled) {
-      parallel_for(0, static_cast<std::int64_t>(n),
-                   [&](std::int64_t lo, std::int64_t hi) {
-                     std::fill(min_dist.begin() + lo, min_dist.begin() + hi,
-                               std::numeric_limits<double>::infinity());
-                   });
+      // Full SLIC resets the minimum-distance plane every iteration. The
+      // fused path folds the reset into each band's sweep (same writes,
+      // one less full-image pass); the traffic charge is identical.
+      if (!fused) {
+        parallel_for(0, static_cast<std::int64_t>(n),
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       std::fill(min_dist.begin() + lo, min_dist.begin() + hi,
+                                 std::numeric_limits<double>::infinity());
+                     });
+      }
       instr.traffic.distance_write += n * MemTraffic::kDistanceBytes;
     }
 
@@ -179,13 +202,12 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
     // band partition and thread count. No locks or atomics are needed on
     // the pixel arrays.
     std::int32_t* labels_ptr = result.labels.pixels().data();
-    parallel_for(0, h, [&](std::int64_t ylo, std::int64_t yhi) {
-      SSLIC_TRACE_SCOPE("cpa.assign.band", ylo);
+    const auto scan_band = [&](int ylo, int yhi) {
       for (std::size_t ci = 0; ci < result.centers.size(); ++ci) {
         if (active[ci] == 0) continue;
         const ScanWindow& win = windows[ci];
-        const int y0 = std::max(win.y0, static_cast<int>(ylo));
-        const int y1 = std::min(win.y1, static_cast<int>(yhi) - 1);
+        const int y0 = std::max(win.y0, ylo);
+        const int y1 = std::min(win.y1, yhi - 1);
         if (y0 > y1) continue;
         SSLIC_TRACE_SCOPE_AT(1, "cpa.assign.center",
                              static_cast<std::int64_t>(ci));
@@ -204,46 +226,117 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
                                min_dist.data() + off, labels_ptr + off);
         }
       }
-    });
+    };
+
+    bool fused_sigmas_merged = false;
+    if (!fused) {
+      parallel_for(0, h, [&](std::int64_t ylo, std::int64_t yhi) {
+        SSLIC_TRACE_SCOPE("cpa.assign.band", ylo);
+        scan_band(static_cast<int>(ylo), static_cast<int>(yhi));
+      });
+    } else {
+      // Fused band sweep: reset (full SLIC), assign, then immediately
+      // accumulate this band's sigma partials — after the ascending-index
+      // center scan every pixel of the band holds its final label for this
+      // iteration, so the accumulation is legal band-locally and the Lab
+      // rows are still warm in cache. One full-image pass instead of three.
+      const auto band_body = [&](std::size_t band, std::vector<Sigma>& pool) {
+        const auto [blo, bhi] = detail::chunk_bounds(0, h, bands, band);
+        if (blo >= bhi) return;
+        SSLIC_TRACE_SCOPE("cpa.assign.band", blo);
+        const int ylo = static_cast<int>(blo);
+        const int yhi = static_cast<int>(bhi);
+        if (!subsampled) {
+          const auto begin = static_cast<std::size_t>(ylo) * static_cast<std::size_t>(w);
+          const auto end = static_cast<std::size_t>(yhi) * static_cast<std::size_t>(w);
+          std::fill(min_dist.begin() + static_cast<std::ptrdiff_t>(begin),
+                    min_dist.begin() + static_cast<std::ptrdiff_t>(end),
+                    std::numeric_limits<double>::infinity());
+        }
+        scan_band(ylo, yhi);
+        SSLIC_TRACE_SCOPE_AT(1, "cpa.band_accumulate",
+                             static_cast<std::int64_t>(band));
+        pool.assign(num_centers_z, Sigma{});
+        for (int y = ylo; y < yhi; ++y) {
+          const std::size_t off =
+              static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+          kt.accumulate_row(planes.L.data() + off, planes.a.data() + off,
+                            planes.b.data() + off, 0, w, y, labels_ptr + off,
+                            pool.data());
+        }
+      };
+      ThreadPool& pool = ThreadPool::global();
+      if (pool.threads() <= 1 || bands <= 1 || ThreadPool::in_parallel_region()) {
+        // Serial sweep: one pool serves every band, folded into the totals
+        // as soon as its band completes. The per-band partial values and
+        // the ascending merge order are exactly those of the parallel
+        // per-band pools — bit-identical results — but the single K-sigma
+        // partial stays cache-resident across all bands instead of
+        // streaming bands * K sigmas through memory every iteration.
+        std::vector<Sigma>& band_pool = scratch.band_sigmas[0];
+        for (std::size_t band = 0; band < bands; ++band) {
+          band_body(band, band_pool);
+          // Seed by copy, then fold — the same chain as the merge below
+          // (bands = min(kReduceChunks, h) so no band is ever empty).
+          if (band == 0) {
+            sigmas = band_pool;
+          } else {
+            merge_sigmas(sigmas, band_pool);
+          }
+        }
+        fused_sigmas_merged = true;
+      } else {
+        pool.run_chunks(bands, [&](std::size_t band) {
+          band_body(band, scratch.band_sigmas[band]);
+        });
+      }
+    }
     if (phases != nullptr) phases->add(kPhaseDistanceMin, assign_watch.elapsed_ms());
     assign_span.complete("cpa.assign", iter);
 
-    // --- Center update: full sigma pass, then divide. ---
-    // Per-band sigma accumulators merged in ascending band order. The band
-    // boundaries depend only on the image height (parallel_reduce uses a
-    // fixed chunk budget), so the floating-point reduction tree — and hence
-    // every center, bit for bit — is the same at any thread count.
+    // --- Center update: merge sigma partials, then divide. ---
+    // Either path merges per-band partials in ascending band order with
+    // band boundaries fixed by the image height (parallel_reduce uses the
+    // same kReduceChunks budget), so the floating-point reduction tree —
+    // and hence every center, bit for bit — is the same at any thread
+    // count, fused or not.
     Stopwatch update_watch;
     trace::Interval update_span;
-    sigmas = parallel_reduce<std::vector<Sigma>>(
-        0, h,
-        [&](std::vector<Sigma>& partial, std::int64_t ylo, std::int64_t yhi) {
-          partial.assign(static_cast<std::size_t>(num_centers), Sigma{});
-          for (int y = static_cast<int>(ylo); y < static_cast<int>(yhi); ++y) {
-            for (int x = 0; x < w; ++x) {
-              const auto label = static_cast<std::size_t>(result.labels(x, y));
-              partial[label].add(lab(x, y), x, y);
+    if (!fused) {
+      sigmas = parallel_reduce<std::vector<Sigma>>(
+          0, h,
+          [&](std::vector<Sigma>& partial, std::int64_t ylo, std::int64_t yhi) {
+            partial.assign(num_centers_z, Sigma{});
+            for (int y = static_cast<int>(ylo); y < static_cast<int>(yhi); ++y) {
+              for (int x = 0; x < w; ++x) {
+                const auto label = static_cast<std::size_t>(result.labels(x, y));
+                partial[label].add(lab(x, y), x, y);
+              }
             }
-          }
-        },
-        [&](std::vector<Sigma>& into, std::vector<Sigma>&& from) {
-          if (from.empty()) return;
-          if (into.empty()) {
-            into = std::move(from);
-            return;
-          }
-          for (std::size_t i = 0; i < into.size(); ++i) {
-            into[i].L += from[i].L;
-            into[i].a += from[i].a;
-            into[i].b += from[i].b;
-            into[i].x += from[i].x;
-            into[i].y += from[i].y;
-            into[i].count += from[i].count;
-          }
-        });
+          },
+          [&](std::vector<Sigma>& into, std::vector<Sigma>&& from) {
+            if (from.empty()) return;
+            if (into.empty()) {
+              into = std::move(from);
+              return;
+            }
+            merge_sigmas(into, from);
+          });
+      // Two-pass accounting: the standalone sigma pass re-reads the whole
+      // image and label plane from DRAM. The fused path inherits both
+      // streams from the assignment pass, so it drops these two charges —
+      // the ~n*16 B/iteration the ISSUE's motivation cites.
+      instr.traffic.image_read += n * MemTraffic::kLabBytes;
+      instr.traffic.label_read += n * MemTraffic::kLabelBytes;
+    } else if (!fused_sigmas_merged) {
+      // Parallel fused sweep left one partial pool per band. The first
+      // band's pool seeds the totals by value copy (mirroring the reduce
+      // merge's move-from-empty), the rest fold in ascending order.
+      sigmas = scratch.band_sigmas[0];
+      for (std::size_t band = 1; band < bands; ++band)
+        merge_sigmas(sigmas, scratch.band_sigmas[band]);
+    }
     instr.ops.accumulate_ops += 6 * n;
-    instr.traffic.image_read += n * MemTraffic::kLabBytes;
-    instr.traffic.label_read += n * MemTraffic::kLabelBytes;
 
     stats.center_movement = update_centers(result.centers, sigmas,
                                            subsampled ? active
@@ -252,7 +345,7 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
     instr.traffic.center_write +=
         static_cast<std::uint64_t>(num_centers) * MemTraffic::kCenterBytes;
     if (phases != nullptr) phases->add(kPhaseCenterUpdate, update_watch.elapsed_ms());
-    update_span.complete("cpa.update", iter);
+    update_span.complete(fused ? "cpa.fused_accumulate" : "cpa.update", iter);
 
     instr.iterations += 1;
     result.iterations_run = iter + 1;
@@ -275,10 +368,10 @@ Segmentation CpaSlic::segment_lab(const LabImage& lab,
   if (params_.enforce_connectivity) {
     Stopwatch conn_watch;
     SSLIC_TRACE_SCOPE("cpa.connectivity");
-    enforce_connectivity(result.labels, params_.num_superpixels);
+    enforce_connectivity(result.labels, params_.num_superpixels,
+                         &scratch.connectivity);
     if (phases != nullptr) phases->add(kPhaseOther, conn_watch.elapsed_ms());
   }
-  return result;
 }
 
 }  // namespace sslic

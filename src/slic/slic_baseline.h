@@ -16,6 +16,7 @@
 #include "color/color_convert.h"
 #include "common/stopwatch.h"
 #include "slic/instrumentation.h"
+#include "slic/iteration_scratch.h"
 #include "slic/types.h"
 
 namespace sslic {
@@ -36,6 +37,16 @@ class CpaSlic {
                                          const IterationCallback& callback = {},
                                          Instrumentation* instrumentation = nullptr,
                                          PhaseTimer* phases = nullptr) const;
+
+  /// Buffer-reusing variant: writes into `result` and draws every working
+  /// buffer from `scratch`. Repeated calls at an unchanged geometry reuse
+  /// all prior allocations (seeding the centers is the one remaining
+  /// cold-path allocation). Results are identical to segment_lab.
+  void segment_lab_into(const LabImage& lab, Segmentation& result,
+                        IterationScratch& scratch,
+                        const IterationCallback& callback = {},
+                        Instrumentation* instrumentation = nullptr,
+                        PhaseTimer* phases = nullptr) const;
 
   [[nodiscard]] const SlicParams& params() const { return params_; }
 

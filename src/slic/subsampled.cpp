@@ -12,6 +12,7 @@
 #include "slic/assign_kernels.h"
 #include "slic/center_update.h"
 #include "slic/connectivity.h"
+#include "slic/fusion.h"
 #include "slic/grid.h"
 #include "slic/slic_baseline.h"
 #include "slic/subset_schedule.h"
@@ -43,21 +44,47 @@ Segmentation PpaSlic::segment_lab(const LabImage& lab,
                                   const IterationCallback& callback,
                                   Instrumentation* instrumentation,
                                   PhaseTimer* phases) const {
-  return segment_impl(lab, nullptr, callback, instrumentation, phases);
+  Segmentation result;
+  IterationScratch scratch;
+  segment_impl(lab, nullptr, result, scratch, callback, instrumentation, phases);
+  return result;
 }
 
 Segmentation PpaSlic::segment_lab_warm(
     const LabImage& lab, const std::vector<ClusterCenter>& initial_centers,
     const IterationCallback& callback, Instrumentation* instrumentation,
     PhaseTimer* phases) const {
-  return segment_impl(lab, &initial_centers, callback, instrumentation, phases);
+  Segmentation result;
+  IterationScratch scratch;
+  segment_impl(lab, &initial_centers, result, scratch, callback,
+               instrumentation, phases);
+  return result;
 }
 
-Segmentation PpaSlic::segment_impl(const LabImage& lab,
-                                   const std::vector<ClusterCenter>* warm_centers,
-                                   const IterationCallback& callback,
-                                   Instrumentation* instrumentation,
-                                   PhaseTimer* phases) const {
+void PpaSlic::segment_lab_into(const LabImage& lab, Segmentation& result,
+                               IterationScratch& scratch,
+                               const IterationCallback& callback,
+                               Instrumentation* instrumentation,
+                               PhaseTimer* phases) const {
+  segment_impl(lab, nullptr, result, scratch, callback, instrumentation,
+               phases);
+}
+
+void PpaSlic::segment_lab_warm_into(
+    const LabImage& lab, const std::vector<ClusterCenter>& initial_centers,
+    Segmentation& result, IterationScratch& scratch,
+    const IterationCallback& callback, Instrumentation* instrumentation,
+    PhaseTimer* phases) const {
+  segment_impl(lab, &initial_centers, result, scratch, callback,
+               instrumentation, phases);
+}
+
+void PpaSlic::segment_impl(const LabImage& lab,
+                           const std::vector<ClusterCenter>* warm_centers,
+                           Segmentation& result, IterationScratch& scratch,
+                           const IterationCallback& callback,
+                           Instrumentation* instrumentation,
+                           PhaseTimer* phases) const {
   SSLIC_CHECK(!lab.empty());
   SSLIC_TRACE_SCOPE("ppa.segment");
   const int w = lab.width();
@@ -67,6 +94,8 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
   Instrumentation local_instr;
   Instrumentation& instr = instrumentation != nullptr ? *instrumentation : local_instr;
   instr = Instrumentation{};
+  const bool fused = fusion_enabled();
+  instr.fused = fused;
 
   Stopwatch init_watch;
   const CenterGrid grid(w, h, params_.num_superpixels);
@@ -74,20 +103,24 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
   const SubsetSchedule schedule =
       SubsetSchedule::from_ratio(params_.subsample_ratio, params_.subset_pattern);
   const int num_centers = grid.num_centers();
+  const auto num_centers_z = static_cast<std::size_t>(num_centers);
 
   // Model n-bit storage: the image (and, after every update, the centers)
-  // are held at the configured data width.
-  LabImage stored = lab;
+  // are held at the configured data width. At full float width the input
+  // image is already in stored form — no copy needed.
+  const LabImage* stored_ptr = &lab;
   if (data_width_.color_bits != 0) {
-    for (auto& px : stored.pixels()) px = dist.quantize(px);
+    scratch.stored = lab;
+    for (auto& px : scratch.stored.pixels()) px = dist.quantize(px);
+    stored_ptr = &scratch.stored;
   }
+  const LabImage& stored = *stored_ptr;
 
-  Segmentation result;
   if (warm_centers != nullptr) {
     SSLIC_CHECK_MSG(static_cast<int>(warm_centers->size()) == num_centers,
                     "warm start has " << warm_centers->size()
                                       << " centers, grid needs " << num_centers);
-    result.centers = *warm_centers;
+    result.centers.assign(warm_centers->begin(), warm_centers->end());
     for (auto& c : result.centers) {
       c.x = std::clamp(c.x, 0.0, static_cast<double>(w - 1));
       c.y = std::clamp(c.y, 0.0, static_cast<double>(h - 1));
@@ -96,27 +129,37 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
     result.centers = seed_centers(grid, stored, params_.perturb_centers);
   }
   for (auto& c : result.centers) dist.quantize_center(c);
-  result.labels = initial_labels(grid);
+  initial_labels(grid, result.labels);
+  result.iterations_run = 0;
+  result.trace.clear();
+  result.trace.reserve(static_cast<std::size_t>(params_.max_iterations));
 
-  const std::vector<CandidateList> candidates = build_candidate_map(grid);
+  const std::vector<CandidateList>& candidates = scratch.candidate_map(grid);
 
   // Running minimum-distance buffer (Fig. 1b keeps one in the software
   // formulation; the accelerator holds the running minimum in registers).
-  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  std::vector<double>& min_dist = scratch.min_dist;
+  min_dist.assign(n, std::numeric_limits<double>::infinity());
 
   // Planar split of the (quantized) stored image feeds the vectorized
   // candidate kernel; the subset mask is materialized per row. Kernel
   // dispatch is resolved once, outside the tile loops.
-  const LabPlanes planes = split_lab_planes(stored);
+  split_lab_planes(stored, scratch.planes);
+  const LabPlanes& planes = scratch.planes;
   const kernels::KernelTable& kt = kernels::active();
   const double spatial_weight = dist.spatial_weight();
-  std::vector<std::uint8_t> row_active(static_cast<std::size_t>(w), 0);
+  std::vector<std::uint8_t>& row_active = scratch.row_active;
+  row_active.assign(static_cast<std::size_t>(w), 0);
 
-  std::vector<Sigma> sigmas(static_cast<std::size_t>(num_centers));
+  std::vector<Sigma>& sigmas = scratch.sigmas;
+  sigmas.assign(num_centers_z, Sigma{});
   // Preemptive extension state.
-  std::vector<std::uint8_t> frozen(static_cast<std::size_t>(num_centers), 0);
-  std::vector<std::uint8_t> calm_streak(static_cast<std::size_t>(num_centers), 0);
-  std::vector<std::uint8_t> tile_skipped(static_cast<std::size_t>(num_centers), 0);
+  std::vector<std::uint8_t>& frozen = scratch.frozen;
+  frozen.assign(num_centers_z, 0);
+  std::vector<std::uint8_t>& calm_streak = scratch.calm_streak;
+  calm_streak.assign(num_centers_z, 0);
+  std::vector<std::uint8_t>& tile_skipped = scratch.tile_skipped;
+  tile_skipped.assign(num_centers_z, 0);
   if (phases != nullptr) phases->add(CpaSlic::kPhaseOther, init_watch.elapsed_ms());
 
   for (int iter = 0; iter < params_.max_iterations; ++iter) {
@@ -126,9 +169,18 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
     stats.iteration = iter;
 
     // --- Per-pixel assignment over the active subset, tile by tile. ---
+    // Fused mode accumulates each stripe's sigma contributions right after
+    // the stripe's tiles finish (the labels of those rows are final for
+    // this iteration); stripes are ascending contiguous row ranges, so the
+    // accumulation order is exactly the global row-major order of the
+    // two-pass update loop and sigmas match it bit for bit.
     Stopwatch assign_watch;
     trace::Interval assign_span;
     std::fill(tile_skipped.begin(), tile_skipped.end(), std::uint8_t{0});
+    if (fused) {
+      for (auto& s : sigmas) s.clear();
+    }
+    std::uint64_t accumulated = 0;
     for (int gy = 0; gy < grid.ny(); ++gy) {
       const int y0 = gy * h / grid.ny();
       const int y1 = (gy + 1) * h / grid.ny();
@@ -194,6 +246,47 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
         // Counted per pixel below via stats; candidate bytes are also
         // charged per pixel to match the profiled prototype.
       }
+
+      // --- Fused stripe accumulation over rows [y0, y1). ---
+      if (fused) {
+        SSLIC_TRACE_SCOPE_AT(1, "ppa.fused_accumulate", gy);
+        const std::int32_t* labels_ptr = result.labels.pixels().data();
+        const bool all_active = schedule.count() == 1;
+        if (all_active && !params_.preemptive) {
+          // Every pixel contributes: whole rows through the SIMD scatter
+          // kernel (bit-equal to the scalar loop; see assign_kernels.h).
+          for (int y = y0; y < y1; ++y) {
+            const std::size_t off =
+                static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+            kt.accumulate_row(planes.L.data() + off, planes.a.data() + off,
+                              planes.b.data() + off, 0, w, y,
+                              labels_ptr + off, sigmas.data());
+          }
+          accumulated +=
+              static_cast<std::uint64_t>(y1 - y0) * static_cast<std::uint64_t>(w);
+        } else {
+          // Masked path: identical skip conditions to the two-pass update
+          // loop (inactive subset members; tiles the preemptive extension
+          // skipped this iteration).
+          for (int y = y0; y < y1; ++y) {
+            const int cell_gy = grid.cell_y(y);
+            for (int x = 0; x < w; ++x) {
+              if (!schedule.active(x, y, iter)) continue;
+              if (params_.preemptive &&
+                  tile_skipped[static_cast<std::size_t>(
+                      grid.center_index(grid.cell_x(x), cell_gy))] != 0) {
+                continue;
+              }
+              const std::size_t flat =
+                  static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+                  static_cast<std::size_t>(x);
+              sigmas[static_cast<std::size_t>(labels_ptr[flat])].add(
+                  stored.pixels()[flat], x, y);
+              accumulated += 1;
+            }
+          }
+        }
+      }
     }
     // Hoisted out of the inner loop: every visited pixel scans exactly the
     // 9-candidate list (9 distance evals, 8 running-min compares).
@@ -213,30 +306,34 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
     assign_span.complete("ppa.assign", iter);
 
     // --- Center update from the subset's accumulations (OS-EM style). ---
-    // The sigma accumulation runs as its own pass (the hardware's cluster
-    // update unit accumulates from tile-resident data, so this adds no
-    // DRAM traffic) and is charged to the center-update phase, matching
-    // the paper's Table-1 accounting.
+    // In two-pass mode the sigma accumulation runs as its own pass (the
+    // hardware's cluster update unit accumulates from tile-resident data,
+    // so this adds no DRAM traffic) and is charged to the center-update
+    // phase, matching the paper's Table-1 accounting. In fused mode it
+    // already happened stripe by stripe above; only the division remains.
     Stopwatch update_watch;
     trace::Interval update_span;
-    for (auto& s : sigmas) s.clear();
-    for (int y = 0; y < h; ++y) {
-      const int gy = grid.cell_y(y);
-      for (int x = 0; x < w; ++x) {
-        if (!schedule.active(x, y, iter)) continue;
-        if (params_.preemptive &&
-            tile_skipped[static_cast<std::size_t>(
-                grid.center_index(grid.cell_x(x), gy))] != 0) {
-          continue;
+    if (!fused) {
+      for (auto& s : sigmas) s.clear();
+      for (int y = 0; y < h; ++y) {
+        const int gy = grid.cell_y(y);
+        for (int x = 0; x < w; ++x) {
+          if (!schedule.active(x, y, iter)) continue;
+          if (params_.preemptive &&
+              tile_skipped[static_cast<std::size_t>(
+                  grid.center_index(grid.cell_x(x), gy))] != 0) {
+            continue;
+          }
+          const std::size_t flat =
+              static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+              static_cast<std::size_t>(x);
+          sigmas[static_cast<std::size_t>(result.labels.pixels()[flat])].add(
+              stored.pixels()[flat], x, y);
+          accumulated += 1;
         }
-        const std::size_t flat =
-            static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
-            static_cast<std::size_t>(x);
-        sigmas[static_cast<std::size_t>(result.labels.pixels()[flat])].add(
-            stored.pixels()[flat], x, y);
-        instr.ops.accumulate_ops += 6;
       }
     }
+    instr.ops.accumulate_ops += 6 * accumulated;
     double movement_sum = 0.0;
     std::size_t updated = 0;
     for (std::size_t ci = 0; ci < result.centers.size(); ++ci) {
@@ -288,10 +385,10 @@ Segmentation PpaSlic::segment_impl(const LabImage& lab,
   if (params_.enforce_connectivity) {
     Stopwatch conn_watch;
     SSLIC_TRACE_SCOPE("ppa.connectivity");
-    enforce_connectivity(result.labels, params_.num_superpixels);
+    enforce_connectivity(result.labels, params_.num_superpixels,
+                         &scratch.connectivity);
     if (phases != nullptr) phases->add(CpaSlic::kPhaseOther, conn_watch.elapsed_ms());
   }
-  return result;
 }
 
 }  // namespace sslic

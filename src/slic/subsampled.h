@@ -19,6 +19,7 @@
 #include "common/stopwatch.h"
 #include "slic/distance.h"
 #include "slic/instrumentation.h"
+#include "slic/iteration_scratch.h"
 #include "slic/types.h"
 
 namespace sslic {
@@ -48,14 +49,33 @@ class PpaSlic {
       Instrumentation* instrumentation = nullptr,
       PhaseTimer* phases = nullptr) const;
 
+  /// Buffer-reusing variants: write into `result` and draw every working
+  /// buffer from `scratch`. Repeated calls at an unchanged geometry make
+  /// the run allocation-free (TemporalSlic's steady state; asserted by
+  /// tests/test_fused.cpp). Results are identical to the value-returning
+  /// overloads.
+  void segment_lab_into(const LabImage& lab, Segmentation& result,
+                        IterationScratch& scratch,
+                        const IterationCallback& callback = {},
+                        Instrumentation* instrumentation = nullptr,
+                        PhaseTimer* phases = nullptr) const;
+  void segment_lab_warm_into(const LabImage& lab,
+                             const std::vector<ClusterCenter>& initial_centers,
+                             Segmentation& result, IterationScratch& scratch,
+                             const IterationCallback& callback = {},
+                             Instrumentation* instrumentation = nullptr,
+                             PhaseTimer* phases = nullptr) const;
+
   [[nodiscard]] const SlicParams& params() const { return params_; }
   [[nodiscard]] const DataWidth& data_width() const { return data_width_; }
 
  private:
-  [[nodiscard]] Segmentation segment_impl(
-      const LabImage& lab, const std::vector<ClusterCenter>* warm_centers,
-      const IterationCallback& callback, Instrumentation* instrumentation,
-      PhaseTimer* phases) const;
+  void segment_impl(const LabImage& lab,
+                    const std::vector<ClusterCenter>* warm_centers,
+                    Segmentation& result, IterationScratch& scratch,
+                    const IterationCallback& callback,
+                    Instrumentation* instrumentation,
+                    PhaseTimer* phases) const;
 
   SlicParams params_;
   DataWidth data_width_;

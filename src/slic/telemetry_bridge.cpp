@@ -29,6 +29,7 @@ void export_instrumentation(const Instrumentation& instr,
 
   registry.counter(prefix + ".iterations").set(instr.iterations);
   registry.counter(prefix + ".tiles_skipped").set(instr.tiles_skipped);
+  registry.counter(prefix + ".fused").set(instr.fused ? 1 : 0);
 }
 
 }  // namespace sslic::telemetry

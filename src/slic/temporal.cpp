@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "slic/slic_baseline.h"
 #include "slic/subset_schedule.h"
 
 namespace sslic {
@@ -19,25 +21,36 @@ TemporalSlic::TemporalSlic(SlicParams params, DataWidth data_width,
   }
 }
 
-Segmentation TemporalSlic::next_frame(const RgbImage& frame) {
+const Segmentation& TemporalSlic::next_frame(const RgbImage& frame,
+                                             Instrumentation* instrumentation,
+                                             PhaseTimer* phases) {
   const bool can_warm = has_state() && frame.width() == state_width_ &&
                         frame.height() == state_height_;
 
-  Segmentation result;
+  {
+    Stopwatch watch;
+    srgb_to_lab(frame, lab_);
+    if (phases != nullptr)
+      phases->add(CpaSlic::kPhaseColorConversion, watch.elapsed_ms());
+  }
+
   if (can_warm) {
     SlicParams warm_params = params_;
     warm_params.max_iterations = warm_iterations_;
     const PpaSlic segmenter(warm_params, data_width_);
-    const LabImage lab = srgb_to_lab(frame);
-    result = segmenter.segment_lab_warm(lab, previous_centers_);
+    segmenter.segment_lab_warm_into(lab_, previous_centers_, result_, scratch_,
+                                    {}, instrumentation, phases);
   } else {
-    result = PpaSlic(params_, data_width_).segment(frame);
+    const PpaSlic segmenter(params_, data_width_);
+    segmenter.segment_lab_into(lab_, result_, scratch_, {}, instrumentation,
+                               phases);
   }
 
-  previous_centers_ = result.centers;
+  // Same center count in steady state: copy-assign reuses the storage.
+  previous_centers_ = result_.centers;
   state_width_ = frame.width();
   state_height_ = frame.height();
-  return result;
+  return result_;
 }
 
 }  // namespace sslic

@@ -8,6 +8,11 @@
 // iterations to converge. This wrapper manages that state and falls back
 // to cold (grid) initialization on the first frame, on a resolution/K
 // change, or after reset() (e.g. at a scene cut).
+//
+// All per-frame working memory (Lab conversion buffer, segmentation
+// output, iteration scratch) lives in the wrapper, so a steady-state
+// stream — same resolution and K from frame 2 on — runs with zero heap
+// allocations per frame (asserted by tests/test_fused.cpp).
 #pragma once
 
 #include <vector>
@@ -26,8 +31,12 @@ class TemporalSlic {
                         DataWidth data_width = DataWidth::float64(),
                         int warm_iterations = 0);
 
-  /// Segments the next frame of the stream.
-  [[nodiscard]] Segmentation next_frame(const RgbImage& frame);
+  /// Segments the next frame of the stream. The returned reference points
+  /// at internal state that stays valid until the next call (or
+  /// destruction); copy it if you need it longer.
+  [[nodiscard]] const Segmentation& next_frame(
+      const RgbImage& frame, Instrumentation* instrumentation = nullptr,
+      PhaseTimer* phases = nullptr);
 
   /// Drops the warm state (call at scene cuts).
   void reset() { previous_centers_.clear(); }
@@ -45,6 +54,10 @@ class TemporalSlic {
   int state_width_ = 0;
   int state_height_ = 0;
   std::vector<ClusterCenter> previous_centers_;
+  // Per-frame buffers, reused across calls.
+  LabImage lab_;
+  Segmentation result_;
+  IterationScratch scratch_;
 };
 
 }  // namespace sslic

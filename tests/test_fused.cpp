@@ -1,0 +1,296 @@
+// Golden tests for the fused iteration loop (assignment + sigma
+// accumulation in one band sweep) against the two-pass loop it replaced:
+//
+//  - labels AND centers must be byte-identical between the two paths for
+//    every algorithm variant (exact CPA, subsampled CPA, PPA with both
+//    subset patterns, preemptive PPA), every compiled SIMD backend, and
+//    several thread counts — the determinism contract of DESIGN.md §4e.
+//  - the accumulate_row kernel of every vector backend must bit-equal the
+//    scalar reference on fuzzed rows (same contract as the assign kernels).
+//  - TemporalSlic's steady state (frame 2 onward at fixed geometry) must
+//    perform zero heap allocations per frame, proven by a counting global
+//    operator new installed in this binary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/alloc_counter.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "dataset/synthetic.h"
+#include "slic/assign_kernels.h"
+#include "slic/center_update.h"
+#include "slic/fusion.h"
+#include "slic/slic_baseline.h"
+#include "slic/subsampled.h"
+#include "slic/temporal.h"
+#include "slic/types.h"
+
+// Every allocation in this binary bumps sslic::alloc_counter — the
+// zero-allocation steady-state assertions below depend on it.
+SSLIC_INSTALL_COUNTING_ALLOCATOR();
+
+namespace sslic {
+namespace {
+
+struct IsaGuard {
+  ~IsaGuard() { simd::reset_preferred_isa(); }
+};
+
+struct GlobalThreadsGuard {
+  ~GlobalThreadsGuard() { ThreadPool::set_global_threads(0); }
+};
+
+/// Scalar plus every vector backend this binary compiled in and this CPU
+/// can execute.
+std::vector<simd::Isa> testable_isas() {
+  std::vector<simd::Isa> isas{simd::Isa::kScalar};
+  for (const simd::Isa isa :
+       {simd::Isa::kSse2, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (kernels::backend_compiled(isa) && simd::cpu_supports(isa))
+      isas.push_back(isa);
+  }
+  return isas;
+}
+
+/// One algorithm variant of the identity matrix.
+struct Variant {
+  std::string name;
+  bool cpa = false;
+  SlicParams params;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  {
+    Variant v{"cpa-exact", true, {}};
+    v.params.num_superpixels = 80;
+    v.params.max_iterations = 5;
+    out.push_back(v);
+  }
+  {
+    Variant v{"cpa-subsampled-0.5", true, {}};
+    v.params.num_superpixels = 80;
+    v.params.max_iterations = 6;
+    v.params.subsample_ratio = 0.5;
+    out.push_back(v);
+  }
+  {
+    Variant v{"ppa-dithered-0.5", false, {}};
+    v.params.num_superpixels = 80;
+    v.params.max_iterations = 6;
+    v.params.subsample_ratio = 0.5;
+    out.push_back(v);
+  }
+  {
+    Variant v{"ppa-rows-0.25", false, {}};
+    v.params.num_superpixels = 80;
+    v.params.max_iterations = 8;
+    v.params.subsample_ratio = 0.25;
+    v.params.subset_pattern = SubsetPattern::kRowInterleaved;
+    out.push_back(v);
+  }
+  {
+    Variant v{"ppa-preemptive-0.5", false, {}};
+    v.params.num_superpixels = 80;
+    v.params.max_iterations = 8;
+    v.params.subsample_ratio = 0.5;
+    v.params.preemptive = true;
+    out.push_back(v);
+  }
+  return out;
+}
+
+Segmentation run_variant(const Variant& v, const LabImage& lab, bool fused) {
+  FusionGuard guard(fused);
+  if (v.cpa) return CpaSlic(v.params).segment_lab(lab);
+  return PpaSlic(v.params).segment_lab(lab);
+}
+
+static_assert(sizeof(ClusterCenter) == 5 * sizeof(double),
+              "memcmp center comparison assumes a packed layout");
+static_assert(sizeof(Sigma) == 5 * sizeof(double) + sizeof(std::uint64_t),
+              "memcmp sigma comparison assumes a packed layout");
+
+/// Byte-level equality: operator== on doubles would let -0.0 pass for
+/// +0.0 and hide a summation-order change.
+void expect_identical(const Segmentation& fused, const Segmentation& two_pass,
+                      const std::string& what) {
+  EXPECT_EQ(fused.iterations_run, two_pass.iterations_run) << what;
+  ASSERT_EQ(fused.labels.width(), two_pass.labels.width()) << what;
+  ASSERT_EQ(fused.labels.height(), two_pass.labels.height()) << what;
+  EXPECT_TRUE(std::equal(fused.labels.pixels().begin(),
+                         fused.labels.pixels().end(),
+                         two_pass.labels.pixels().begin()))
+      << what << ": labels differ";
+  ASSERT_EQ(fused.centers.size(), two_pass.centers.size()) << what;
+  EXPECT_EQ(0, std::memcmp(fused.centers.data(), two_pass.centers.data(),
+                           fused.centers.size() * sizeof(ClusterCenter)))
+      << what << ": centers differ at the byte level";
+}
+
+TEST(FusedIteration, MatchesTwoPassAcrossVariantsIsasAndThreads) {
+  const GroundTruthImage gt = generate_synthetic({160, 120}, 41);
+  const LabImage lab = srgb_to_lab(gt.image);
+  IsaGuard isa_guard;
+  GlobalThreadsGuard threads_guard;
+  for (const Variant& v : variants()) {
+    for (const simd::Isa isa : testable_isas()) {
+      simd::set_preferred_isa(isa);
+      for (const int threads : {1, 3, 7}) {
+        ThreadPool::set_global_threads(threads);
+        const Segmentation fused = run_variant(v, lab, true);
+        const Segmentation two_pass = run_variant(v, lab, false);
+        expect_identical(fused, two_pass,
+                         v.name + " isa=" + simd::isa_name(isa) +
+                             " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(FusedIteration, WarmStartMatchesTwoPass) {
+  const GroundTruthImage gt = generate_synthetic({160, 120}, 43);
+  const LabImage lab = srgb_to_lab(gt.image);
+  SlicParams params;
+  params.num_superpixels = 80;
+  params.max_iterations = 4;
+  params.subsample_ratio = 0.5;
+  const PpaSlic segmenter(params);
+  const std::vector<ClusterCenter> warm =
+      segmenter.segment_lab(lab).centers;
+  Segmentation fused, two_pass;
+  {
+    FusionGuard guard(true);
+    fused = segmenter.segment_lab_warm(lab, warm);
+  }
+  {
+    FusionGuard guard(false);
+    two_pass = segmenter.segment_lab_warm(lab, warm);
+  }
+  expect_identical(fused, two_pass, "ppa-warm");
+}
+
+TEST(FusedIteration, QuantizedDataWidthMatchesTwoPass) {
+  const GroundTruthImage gt = generate_synthetic({160, 120}, 47);
+  const LabImage lab = srgb_to_lab(gt.image);
+  SlicParams params;
+  params.num_superpixels = 80;
+  params.max_iterations = 5;
+  params.subsample_ratio = 0.5;
+  const PpaSlic segmenter(params, DataWidth::fixed(8));
+  Segmentation fused, two_pass;
+  {
+    FusionGuard guard(true);
+    fused = segmenter.segment_lab(lab);
+  }
+  {
+    FusionGuard guard(false);
+    two_pass = segmenter.segment_lab(lab);
+  }
+  expect_identical(fused, two_pass, "ppa-quantized-8bit");
+}
+
+TEST(FusedIteration, IntoVariantMatchesValueOverload) {
+  const GroundTruthImage gt = generate_synthetic({120, 90}, 53);
+  const LabImage lab = srgb_to_lab(gt.image);
+  SlicParams params;
+  params.num_superpixels = 60;
+  params.max_iterations = 4;
+  const CpaSlic cpa(params);
+  const Segmentation by_value = cpa.segment_lab(lab);
+  Segmentation into;
+  IterationScratch scratch;
+  // Run twice through the same scratch: the second (fully warm) run must
+  // still match, proving reused buffers carry no state across calls.
+  cpa.segment_lab_into(lab, into, scratch);
+  cpa.segment_lab_into(lab, into, scratch);
+  expect_identical(into, by_value, "cpa-into");
+}
+
+TEST(AccumulateRowKernel, VectorBackendsBitEqualScalar) {
+  IsaGuard isa_guard;
+  Rng rng(97);
+  const kernels::KernelTable& scalar = kernels::scalar_table();
+  for (const simd::Isa isa : testable_isas()) {
+    if (isa == simd::Isa::kScalar) continue;
+    const kernels::KernelTable& vec = kernels::table_for(isa);
+    for (int width : {1, 2, 3, 7, 8, 9, 15, 16, 17, 64, 129}) {
+      const auto n = static_cast<std::size_t>(width);
+      std::vector<float> L(n), a(n), b(n);
+      std::vector<std::int32_t> labels(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        L[i] = static_cast<float>(rng.next_double(0.0, 100.0));
+        a[i] = static_cast<float>(rng.next_double(-128.0, 127.0));
+        b[i] = static_cast<float>(rng.next_double(-128.0, 127.0));
+        labels[i] = static_cast<std::int32_t>(rng.next_below(5));
+      }
+      std::vector<Sigma> want(5), got(5);
+      scalar.accumulate_row(L.data(), a.data(), b.data(), 3, width, 11,
+                            labels.data(), want.data());
+      vec.accumulate_row(L.data(), a.data(), b.data(), 3, width, 11,
+                         labels.data(), got.data());
+      EXPECT_EQ(0, std::memcmp(want.data(), got.data(),
+                               want.size() * sizeof(Sigma)))
+          << "isa=" << simd::isa_name(isa) << " width=" << width;
+    }
+  }
+}
+
+TEST(TemporalSlicAllocations, SteadyStateFramesAreAllocationFree) {
+  SlicParams params;
+  params.num_superpixels = 120;
+  params.max_iterations = 8;
+  params.subsample_ratio = 0.5;
+  TemporalSlic video(params);
+
+  // A few same-geometry frames with different content.
+  std::vector<RgbImage> frames;
+  for (int f = 0; f < 5; ++f) {
+    frames.push_back(
+        generate_synthetic({160, 120}, 900 + static_cast<std::uint64_t>(f))
+            .image);
+  }
+
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const std::uint64_t allocs = alloc_counter::count_allocations(
+        [&] { (void)video.next_frame(frames[f]); });
+    if (f >= 2) {
+      EXPECT_EQ(allocs, 0u)
+          << "frame " << f << " touched the heap in steady state";
+    }
+  }
+
+  // A geometry change re-allocates (cold again), then settles back to zero.
+  const RgbImage bigger = generate_synthetic({200, 150}, 77).image;
+  (void)video.next_frame(bigger);
+  (void)video.next_frame(bigger);
+  const std::uint64_t allocs = alloc_counter::count_allocations(
+      [&] { (void)video.next_frame(bigger); });
+  EXPECT_EQ(allocs, 0u) << "steady state not re-reached after resize";
+}
+
+TEST(TemporalSlicAllocations, SteadyStateHoldsAtEveryThreadCount) {
+  GlobalThreadsGuard threads_guard;
+  for (const int threads : {1, 4}) {
+    ThreadPool::set_global_threads(threads);
+    SlicParams params;
+    params.num_superpixels = 120;
+    params.max_iterations = 6;
+    TemporalSlic video(params);
+    const RgbImage frame = generate_synthetic({160, 120}, 321).image;
+    (void)video.next_frame(frame);
+    (void)video.next_frame(frame);
+    const std::uint64_t allocs = alloc_counter::count_allocations(
+        [&] { (void)video.next_frame(frame); });
+    EXPECT_EQ(allocs, 0u) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace sslic
