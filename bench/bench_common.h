@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -20,7 +21,13 @@
 #include <utility>
 #include <vector>
 
+#if defined(_WIN32)
+#else
+#include <unistd.h>
+#endif
+
 #include "common/cli.h"
+#include "common/perf_counters.h"
 #include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -110,6 +117,56 @@ inline std::string cpu_model_name() {
       return line.substr(line.find_first_not_of(" \t", colon + 1));
   }
   return "unknown";
+}
+
+/// First line of a small /proc or /sys file, "" when unreadable — the
+/// best-effort probe behind the machine-fingerprint metadata.
+inline std::string read_sys_line(const std::string& path) {
+  std::ifstream file(path);
+  std::string line;
+  if (!std::getline(file, line)) return "";
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.pop_back();
+  return line;
+}
+
+/// Kernel release string (uname -r), "unknown" when unavailable.
+inline std::string kernel_release() {
+  const std::string osrelease = read_sys_line("/proc/sys/kernel/osrelease");
+  return osrelease.empty() ? "unknown" : osrelease;
+}
+
+/// CPU frequency-scaling hints from /sys, best effort: the governor and the
+/// min/max scaling frequencies of cpu0. A bench run under the "powersave"
+/// governor is not comparable to one under "performance" — the bench gate's
+/// machine fingerprint records this so CI only compares like-for-like.
+/// Fields are "" / 0 when the cpufreq sysfs tree is absent (containers,
+/// VMs without frequency scaling exposed).
+struct CpuFreqHints {
+  std::string governor;
+  long scaling_min_khz = 0;
+  long scaling_max_khz = 0;
+};
+
+inline CpuFreqHints cpufreq_hints() {
+  CpuFreqHints hints;
+  const std::string base = "/sys/devices/system/cpu/cpu0/cpufreq/";
+  hints.governor = read_sys_line(base + "scaling_governor");
+  const std::string min_s = read_sys_line(base + "scaling_min_freq");
+  const std::string max_s = read_sys_line(base + "scaling_max_freq");
+  if (!min_s.empty()) hints.scaling_min_khz = std::atol(min_s.c_str());
+  if (!max_s.empty()) hints.scaling_max_khz = std::atol(max_s.c_str());
+  return hints;
+}
+
+/// The system page size in bytes (0 when unavailable).
+inline long page_size_bytes() {
+#if defined(_WIN32)
+  return 0;
+#else
+  const long size = sysconf(_SC_PAGESIZE);
+  return size > 0 ? size : 0;
+#endif
 }
 
 /// Prints the standard bench banner.
@@ -242,8 +299,10 @@ class Json {
 };
 
 /// Standard machine-description block for BENCH_*.json artifacts: CPU
-/// model, hardware thread count, and the assignment-kernel ISA actually
-/// selected (after env/flag override and CPU/binary clamping).
+/// model, hardware thread count, the assignment-kernel ISA actually
+/// selected (after env/flag override and CPU/binary clamping), plus the
+/// fingerprint metadata the bench gate matches on: kernel release, page
+/// size, and frequency-scaling hints.
 inline Json machine_json() {
   Json backends = Json::array();
   for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse2,
@@ -251,12 +310,117 @@ inline Json machine_json() {
     if (kernels::backend_compiled(isa) && simd::cpu_supports(isa))
       backends.push(simd::isa_name(isa));
   }
+  const CpuFreqHints freq = cpufreq_hints();
   return Json::object()
       .set("cpu_model", cpu_model_name())
       .set("hardware_threads",
            static_cast<int>(std::thread::hardware_concurrency()))
       .set("simd_isa_selected", simd::isa_name(kernels::active_isa()))
-      .set("simd_isas_available", std::move(backends));
+      .set("simd_isas_available", std::move(backends))
+      .set("kernel_release", kernel_release())
+      .set("page_size_bytes", static_cast<std::int64_t>(page_size_bytes()))
+      .set("cpufreq_governor",
+           freq.governor.empty() ? "unknown" : freq.governor)
+      .set("cpufreq_min_khz", static_cast<std::int64_t>(freq.scaling_min_khz))
+      .set("cpufreq_max_khz", static_cast<std::int64_t>(freq.scaling_max_khz));
+}
+
+/// Builder for the normalized "gate" section of a BENCH_*.json artifact —
+/// the part tools/bench_gate/bench_gate.py compares against the checked-in
+/// baselines. Each metric carries its own unit, direction, and relative
+/// noise tolerance so the gate needs no out-of-band threshold table:
+///
+///   "gate": {
+///     "schema_version": 1,
+///     "metrics": {
+///       "fused_ms_per_image": {
+///         "value": 12.3, "unit": "ms",
+///         "direction": "lower_is_better", "tolerance": 0.10
+///       }, ...
+///     }
+///   }
+///
+/// The machine fingerprint the gate matches lives in the artifact's
+/// top-level "machine" block (machine_json() above).
+class GateMetrics {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  GateMetrics& lower_is_better(const std::string& name, double value,
+                               const std::string& unit, double tolerance) {
+    return add(name, value, unit, "lower_is_better", tolerance);
+  }
+  GateMetrics& higher_is_better(const std::string& name, double value,
+                                const std::string& unit, double tolerance) {
+    return add(name, value, unit, "higher_is_better", tolerance);
+  }
+
+  [[nodiscard]] Json json() const {
+    Json metrics = Json::object();
+    for (const Entry& e : entries_) {
+      metrics.set(e.name, Json::object()
+                              .set("value", e.value)
+                              .set("unit", e.unit)
+                              .set("direction", e.direction)
+                              .set("tolerance", e.tolerance));
+    }
+    return Json::object()
+        .set("schema_version", kSchemaVersion)
+        .set("metrics", std::move(metrics));
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+    std::string direction;
+    double tolerance;
+  };
+
+  GateMetrics& add(const std::string& name, double value,
+                   const std::string& unit, const std::string& direction,
+                   double tolerance) {
+    entries_.push_back({name, value, unit, direction, tolerance});
+    return *this;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Per-phase roofline summary rows shared by the benches: analytic
+/// arithmetic intensity plus counter-measured IPC and DRAM traffic when the
+/// perf backend is live (omitted when degraded). `elapsed_ms` is the wall
+/// time the analytic bytes/ops were accumulated over, so achieved GB/s and
+/// GOP/s can be derived.
+inline Json roofline_json(double analytic_ops, double analytic_bytes,
+                          double elapsed_ms, const perf::Delta& counters) {
+  const double seconds = elapsed_ms / 1e3;
+  Json row = Json::object();
+  row.set("analytic_ops", analytic_ops)
+      .set("analytic_bytes", analytic_bytes)
+      .set("arithmetic_intensity_ops_per_byte",
+           analytic_bytes > 0.0 ? analytic_ops / analytic_bytes : 0.0)
+      .set("elapsed_ms", elapsed_ms)
+      .set("analytic_gops_per_s",
+           seconds > 0.0 ? analytic_ops / seconds / 1e9 : 0.0)
+      .set("analytic_gb_per_s",
+           seconds > 0.0 ? analytic_bytes / seconds / 1e9 : 0.0);
+  if (counters.has(perf::Event::kCycles) &&
+      counters.has(perf::Event::kInstructions)) {
+    row.set("ipc", counters.ipc());
+    row.set("instructions", counters[perf::Event::kInstructions]);
+    row.set("cycles", counters[perf::Event::kCycles]);
+  }
+  if (counters.has(perf::Event::kLlcMisses)) {
+    const double measured_bytes = counters.dram_bytes();
+    row.set("measured_dram_bytes", measured_bytes);
+    row.set("measured_gb_per_s",
+            seconds > 0.0 ? measured_bytes / seconds / 1e9 : 0.0);
+    if (analytic_bytes > 0.0)
+      row.set("measured_vs_analytic_bytes", measured_bytes / analytic_bytes);
+  }
+  return row;
 }
 
 /// Quality metrics of one segmentation against ground truth.

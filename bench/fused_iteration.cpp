@@ -85,8 +85,13 @@ int main(int argc, char** argv) {
     Arm fused;
     Arm two_pass;
     bool identical = true;
+    perf::Delta fused_counters;  ///< calling-thread counters, timed frames
+    int fused_counter_frames = 0;
+    double fused_ops_per_frame = 0.0;    ///< analytic, one segment() call
+    double fused_bytes_per_frame = 0.0;
   };
   std::vector<Point> points;
+  std::cout << "perf: " << perf::status() << '\n';
 
   const double n = static_cast<double>(width) * height;
   const double expected_saving = n * (MemTraffic::kLabBytes + MemTraffic::kLabelBytes);
@@ -110,14 +115,28 @@ int main(int argc, char** argv) {
         FusionGuard guard(fused);
         Segmentation& result = fused ? fused_result : two_pass_result;
         Instrumentation& instr = fused ? fused_instr : two_pass_instr;
+        perf::Delta frame_counters;
         Stopwatch watch;
-        slic.segment_lab_into(lab, result, scratch, {}, &instr);
-        if (f >= 0)
+        {
+          // Counters are per-thread; this samples the calling thread, which
+          // executes its share of every parallel region alongside the pool.
+          perf::ScopedSample sample(&frame_counters);
+          slic.segment_lab_into(lab, result, scratch, {}, &instr);
+        }
+        if (f >= 0) {
           (fused ? fused_times : two_pass_times).push_back(watch.elapsed_ms());
+          if (fused && frame_counters.has(perf::Event::kCycles)) {
+            point.fused_counters += frame_counters;
+            point.fused_counter_frames += 1;
+          }
+        }
       }
     }
     point.fused.ms = median(std::move(fused_times));
     point.fused.bytes_per_iter = fused_instr.traffic_bytes_per_iteration();
+    point.fused_ops_per_frame = static_cast<double>(fused_instr.ops.total_ops());
+    point.fused_bytes_per_frame =
+        static_cast<double>(fused_instr.traffic.total());
     point.two_pass.ms = median(std::move(two_pass_times));
     point.two_pass.bytes_per_iter = two_pass_instr.traffic_bytes_per_iteration();
     point.identical =
@@ -151,6 +170,40 @@ int main(int argc, char** argv) {
             << Table::si(saved, 1) << "B modelled DRAM per iteration (expected "
             << Table::si(expected_saving, 1) << "B)\n";
 
+  // Per-frame roofline at the max-thread point: the analytic op/byte counts
+  // of the last fused run against its median wall time, with calling-thread
+  // counter measurements alongside when the perf backend is live.
+  perf::Delta per_frame_counters;
+  if (last.fused_counter_frames > 0) {
+    per_frame_counters = last.fused_counters;
+    for (auto& v : per_frame_counters.value)
+      v /= static_cast<double>(last.fused_counter_frames);
+  }
+  const double analytic_ops = last.fused_ops_per_frame;
+  const double analytic_bytes = last.fused_bytes_per_frame;
+  if (per_frame_counters.has(perf::Event::kCycles)) {
+    std::cout << "roofline (fused, per frame): "
+              << Table::num(analytic_ops / std::max(1.0, analytic_bytes), 2)
+              << " ops/B analytic intensity, IPC "
+              << Table::num(per_frame_counters.ipc(), 2);
+    if (per_frame_counters.has(perf::Event::kLlcMisses))
+      std::cout << ", measured DRAM "
+                << Table::si(per_frame_counters.dram_bytes(), 1) << "B vs "
+                << Table::si(analytic_bytes, 1) << "B analytic";
+    std::cout << '\n';
+  }
+
+  bench::GateMetrics gate;
+  // Wall-clock metrics get a wide tolerance (shared CI runners); the
+  // analytic traffic model is deterministic, so it gates tightly.
+  gate.lower_is_better("fused_ms_per_frame", last.fused.ms, "ms", 0.15)
+      .higher_is_better("fused_vs_two_pass_speedup",
+                        last.two_pass.ms / last.fused.ms, "x", 0.15)
+      .lower_is_better("fused_bytes_per_iteration", last.fused.bytes_per_iter,
+                       "bytes", 0.01)
+      .lower_is_better("two_pass_bytes_per_iteration",
+                       last.two_pass.bytes_per_iter, "bytes", 0.01);
+
   bench::Json sweep = bench::Json::array();
   for (const Point& p : points) {
     sweep.push(bench::Json::object()
@@ -174,6 +227,11 @@ int main(int argc, char** argv) {
       .set("paper_table2_mb_per_iteration",
            bench::Json::object().set("cpa_two_pass", 318).set("ppa", 100))
       .set("sweep", std::move(sweep))
+      .set("roofline",
+           bench::roofline_json(analytic_ops, analytic_bytes, last.fused.ms,
+                                per_frame_counters))
+      .set("perf_status", perf::status())
+      .set("gate", gate.json())
       .set("machine", bench::machine_json())
       .write_file("BENCH_fused_iteration.json");
   return 0;

@@ -2,12 +2,22 @@
 // (reference float and LUT integer), the 9-way distance + 9:1 minimum inner
 // loop, the SIMD assignment row kernels per backend, full algorithm
 // iterations, the quality metrics, and connectivity enforcement.
+//
+// After the google-benchmark pass, a custom main() runs one instrumented
+// CPA and PPA frame with perf counters armed and prints a per-phase
+// roofline summary: counter-measured cycles/IPC/DRAM bytes per phase next
+// to the analytic Instrumentation op and byte counts. Degrades to the
+// analytic-only view when the perf backend is unavailable.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <iostream>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "color/color_convert.h"
 #include "color/lut_color_unit.h"
 #include "common/rng.h"
@@ -281,6 +291,81 @@ void BM_ConnectivityEnforcement(benchmark::State& state) {
 }
 BENCHMARK(BM_ConnectivityEnforcement);
 
+// Runs one instrumented CPA frame and one PPA frame with perf counters
+// armed, then prints every recorded perf phase (cycles, IPC, cache misses,
+// measured DRAM bytes) next to the analytic per-frame op/byte totals.
+void roofline_summary() {
+  std::cout << "\n==================================================================\n"
+            << "per-phase roofline summary (BSDS frame, K=900, 4 iterations)\n"
+            << "perf: " << perf::status() << '\n'
+            << "==================================================================\n";
+  perf::reset_phases();
+
+  const GroundTruthImage& gt = test_image();
+  SlicParams params;
+  params.num_superpixels = 900;
+  params.max_iterations = 4;
+
+  Instrumentation cpa_instr;
+  Stopwatch cpa_watch;
+  (void)CpaSlic(params).segment(gt.image, {}, &cpa_instr);
+  const double cpa_ms = cpa_watch.elapsed_ms();
+
+  params.subsample_ratio = 0.5;
+  Instrumentation ppa_instr;
+  Stopwatch ppa_watch;
+  (void)PpaSlic(params).segment(gt.image, {}, &ppa_instr);
+  const double ppa_ms = ppa_watch.elapsed_ms();
+
+  const bool counters = perf::available();
+  Table table("counter-measured phases (calling thread)");
+  table.set_header({"phase", "samples", "cycles", "IPC", "LLC mpki",
+                    "DRAM bytes"});
+  for (const perf::PhaseAccum* accum : perf::phases()) {
+    if (accum->samples() == 0) continue;
+    const perf::Delta d = accum->total();
+    const auto cell = [](double v, int digits) {
+      return v != v ? std::string("-") : Table::num(v, digits);
+    };
+    table.add_row({accum->name(), std::to_string(accum->samples()),
+                   d.has(perf::Event::kCycles)
+                       ? Table::si(d[perf::Event::kCycles], 1)
+                       : "-",
+                   cell(d.ipc(), 2), cell(d.mpki(perf::Event::kLlcMisses), 2),
+                   d.has(perf::Event::kLlcMisses)
+                       ? Table::si(d.dram_bytes(), 1) + "B"
+                       : "-"});
+  }
+  if (counters)
+    std::cout << table;
+  else
+    std::cout << "(counter table skipped — analytic roofline only)\n";
+
+  Table analytic("analytic roofline per frame (Instrumentation convention)");
+  analytic.set_header(
+      {"impl", "ms", "ops", "bytes", "ops/B", "GOP/s", "GB/s"});
+  const auto add = [&](const char* name, const Instrumentation& instr,
+                       double ms) {
+    const auto ops = static_cast<double>(instr.ops.total_ops());
+    const auto bytes = static_cast<double>(instr.traffic.total());
+    analytic.add_row({name, Table::num(ms, 1), Table::si(ops, 1),
+                      Table::si(bytes, 1) + "B",
+                      Table::num(ops / std::max(1.0, bytes), 2),
+                      Table::num(ops / (ms / 1e3) / 1e9, 2),
+                      Table::num(bytes / (ms / 1e3) / 1e9, 2)});
+  };
+  add("CPA", cpa_instr, cpa_ms);
+  add("PPA(0.5)", ppa_instr, ppa_ms);
+  std::cout << analytic;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  roofline_summary();
+  return 0;
+}

@@ -196,6 +196,7 @@ int main(int argc, char** argv) {
             << "==================================================================\n";
 
   bool all_identical = true;
+  bench::GateMetrics gate;
   bench::Json kernels_json = bench::Json::array();
   Table table("ns/pixel by backend (speedup vs scalar)");
   {
@@ -266,6 +267,10 @@ int main(int argc, char** argv) {
             : 1.0;
     row.push_back(Table::num(best_speedup, 2) + "x (" + best_vector + ")");
     table.add_row(row);
+    gate.lower_is_better(std::string(kernel_name(kernel)) + "_scalar_ns_per_pixel",
+                         scalar_ns, "ns", 0.35)
+        .higher_is_better(std::string(kernel_name(kernel)) + "_best_speedup",
+                          best_speedup, "x", 0.35);
     kernels_json.push(bench::Json::object()
                           .set("kernel", kernel_name(kernel))
                           .set("bytes_per_pixel", bytes_per_pixel(kernel))
@@ -290,6 +295,7 @@ int main(int argc, char** argv) {
       .set("machine", bench::machine_json())
       .set("kernels", std::move(kernels_json))
       .set("all_outputs_identical", all_identical)
+      .set("gate", gate.json())
       .write_file("BENCH_simd_kernels.json");
   return all_identical ? 0 : 1;
 }

@@ -187,6 +187,14 @@ int main(int argc, char** argv) {
       .set("machine", bench::machine_json())
       .set("oversubscribed_points_skipped", std::move(skipped_json))
       .set("sweep", std::move(sweep_json))
+      .set("gate",
+           bench::GateMetrics()
+               .lower_is_better("serial_ms_per_frame", serial_ms, "ms", 0.25)
+               .lower_is_better("max_threads_ms_per_frame", points.back().ms,
+                                "ms", 0.25)
+               .higher_is_better("max_threads_speedup", points.back().speedup,
+                                 "x", 0.25)
+               .json())
       .write_file("BENCH_thread_scaling.json");
 
   const bool all_identical =

@@ -12,12 +12,25 @@
 // while frame N-1 is being clustered, hiding the conversion latency behind
 // the clustering stage (the labels are identical either way).
 //
+// Soak monitoring (long-run observability): `--monitor=out.jsonl` appends
+// one JSON line every `--monitor-every=N` frames (default 20) with latency
+// percentiles, cumulative fps, counter-derived IPC (null when the perf
+// backend is degraded), heap-allocation deltas, and thread-pool stats —
+// point a dashboard or a validation script at the file while a long run is
+// in flight. `--prom=out.prom` additionally rewrites a Prometheus
+// text-exposition dump of the full metrics registry at every snapshot (the
+// node-exporter textfile-collector pattern).
+//
 //   video_pipeline [--frames=10] [--width=640 --height=480]
 //                  [--superpixels=1200] [--ratio=0.5] [--threads=N]
 //                  [--trace=out.json] [--metrics=out.json] [--no-fuse]
+//                  [--monitor=out.jsonl] [--monitor-every=20]
+//                  [--prom=out.prom]
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -27,6 +40,7 @@
 #include "color/color_convert.h"
 #include "common/alloc_counter.h"
 #include "common/cli.h"
+#include "common/perf_counters.h"
 #include "common/rng.h"
 #include "common/simd.h"
 #include "common/stopwatch.h"
@@ -82,6 +96,100 @@ struct ThreadJoiner {
   }
 };
 
+/// A JSON number, or null for NaN/inf — the degraded-counter marker. JSON
+/// has no NaN literal, so consumers see `"ipc": null` when counters are off.
+std::string jnum(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream s;
+  s.precision(10);
+  s << v;
+  return s.str();
+}
+
+/// Appends periodic JSONL snapshots of a long run, and optionally rewrites
+/// a Prometheus text dump of the registry alongside (scrape-file pattern).
+class SoakMonitor {
+ public:
+  SoakMonitor(const std::string& jsonl_path, const std::string& prom_path)
+      : prom_path_(prom_path) {
+    if (!jsonl_path.empty())
+      jsonl_.open(jsonl_path, std::ios::out | std::ios::app);
+    jsonl_path_ = jsonl_path;
+  }
+
+  [[nodiscard]] bool active() const {
+    return jsonl_.is_open() || !prom_path_.empty();
+  }
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] const std::string& jsonl_path() const { return jsonl_path_; }
+
+  /// One snapshot after `frames_done` frames. `window` holds the counter
+  /// delta accumulated since the previous snapshot; `window_allocs` the
+  /// warm pipeline's heap allocations in that window (must be 0 once
+  /// steady); `steady` whether the window lies entirely in the warm steady
+  /// state (frame 2 onward).
+  void snapshot(int frames_done, double elapsed_s,
+                const telemetry::Histogram& golden,
+                const telemetry::Histogram& warm, double golden_total_ms,
+                double warm_total_ms, const perf::Delta& window,
+                std::uint64_t window_allocs, bool steady) {
+    if (jsonl_.is_open()) {
+      const ThreadPool& pool = ThreadPool::global();
+      std::uint64_t busy_ns = 0;
+      for (const ThreadPool::WorkerStats& w : pool.stats())
+        busy_ns += w.busy_ns;
+      std::ostringstream line;
+      line << "{\"frame\": " << frames_done
+           << ", \"elapsed_s\": " << jnum(elapsed_s)
+           << ", \"golden_ms\": {\"p50\": " << jnum(golden.p50())
+           << ", \"p95\": " << jnum(golden.p95())
+           << ", \"p99\": " << jnum(golden.p99())
+           << ", \"mean\": " << jnum(golden.mean()) << "}"
+           << ", \"warm_ms\": {\"p50\": " << jnum(warm.p50())
+           << ", \"p95\": " << jnum(warm.p95())
+           << ", \"p99\": " << jnum(warm.p99()) << "}"
+           << ", \"golden_fps\": "
+           << jnum(1000.0 * frames_done / golden_total_ms)
+           << ", \"warm_fps\": " << jnum(1000.0 * frames_done / warm_total_ms)
+           << ", \"ipc\": " << jnum(window.ipc())
+           << ", \"cycles\": "
+           << (window.has(perf::Event::kCycles)
+                   ? jnum(window[perf::Event::kCycles])
+                   : "null")
+           << ", \"llc_misses\": "
+           << (window.has(perf::Event::kLlcMisses)
+                   ? jnum(window[perf::Event::kLlcMisses])
+                   : "null")
+           << ", \"heap_allocs_total\": " << alloc_counter::allocations()
+           << ", \"warm_heap_allocs_window\": " << window_allocs
+           << ", \"steady_state\": " << (steady ? "true" : "false")
+           << ", \"pool_threads\": " << pool.threads()
+           << ", \"pool_jobs_run\": " << pool.jobs_run()
+           << ", \"pool_busy_ms\": " << jnum(static_cast<double>(busy_ns) / 1e6)
+           << "}";
+      jsonl_ << line.str() << '\n' << std::flush;
+      if (!jsonl_) failed_ = true;
+    }
+    if (!prom_path_.empty()) {
+      // Refresh the registry-backed exports, then rewrite the whole dump —
+      // scrapers read a consistent file, not an append log.
+      telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::global();
+      telemetry::export_thread_pool(ThreadPool::global(), registry);
+      telemetry::export_allocations(registry);
+      perf::export_phases(registry);
+      std::ofstream prom(prom_path_, std::ios::out | std::ios::trunc);
+      prom << registry.export_prometheus();
+      if (!prom) failed_ = true;
+    }
+  }
+
+ private:
+  std::ofstream jsonl_;
+  std::string jsonl_path_;
+  std::string prom_path_;
+  bool failed_ = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,6 +209,13 @@ int main(int argc, char** argv) {
   if (args.has("no-fuse")) set_fusion(false);
   const std::string trace_path = args.get_string("trace", "");
   const std::string metrics_path = args.get_string("metrics", "");
+  const std::string monitor_path = args.get_string("monitor", "");
+  const int monitor_every = std::max(1, args.get_int("monitor-every", 20));
+  const std::string prom_path = args.get_string("prom", "");
+  SoakMonitor monitor(monitor_path, prom_path);
+  if (monitor.active())
+    std::cout << "soak monitor: snapshot every " << monitor_every
+              << " frames; " << perf::status() << '\n';
   if (!trace_path.empty()) {
     if (trace::compiled()) {
       trace::arm(trace_path);
@@ -177,33 +292,57 @@ int main(int argc, char** argv) {
   // Frame 0 is cold (buffers grow); from frame 2 on the count must be 0.
   std::vector<std::uint64_t> warm_allocs;
   warm_allocs.reserve(static_cast<std::size_t>(frames));
+  // Soak-window state: counter delta, allocation delta, and steadiness of
+  // the frames since the previous snapshot.
+  Stopwatch soak_watch;
+  perf::Delta soak_window;
+  std::uint64_t soak_window_warm_allocs = 0;
+  int soak_window_first_frame = 0;
   for (int f = 0; f < frames; ++f) {
     SSLIC_TRACE_SCOPE("frame", f);
     const auto fi = static_cast<std::size_t>(f);
+    perf::Delta frame_counters;
     Stopwatch watch;
     double ms = 0.0;
     Segmentation seg;
-    {
-      SSLIC_TRACE_SCOPE("frame.golden", f);
-      seg = segmenter.segment(stream[fi]);
-      ms = watch.elapsed_ms();
-    }
-    total_ms += ms;
-    frame_hist.record(ms);
-
-    Stopwatch warm_watch;
     double warm_ms = 0.0;
     const Segmentation* warm_ptr = nullptr;
     {
-      SSLIC_TRACE_SCOPE("frame.warm", f);
-      const std::uint64_t allocs_before = alloc_counter::allocations();
-      warm_ptr = &temporal.next_frame(stream[fi]);
-      warm_allocs.push_back(alloc_counter::allocations() - allocs_before);
-      warm_ms = warm_watch.elapsed_ms();
+      // One scoped sample covers both segmenters: the calling thread's
+      // cycles/instructions/misses for the whole frame.
+      perf::ScopedSample frame_sample(&frame_counters);
+      {
+        SSLIC_TRACE_SCOPE("frame.golden", f);
+        seg = segmenter.segment(stream[fi]);
+        ms = watch.elapsed_ms();
+      }
+      Stopwatch warm_watch;
+      {
+        SSLIC_TRACE_SCOPE("frame.warm", f);
+        const std::uint64_t allocs_before = alloc_counter::allocations();
+        warm_ptr = &temporal.next_frame(stream[fi]);
+        warm_allocs.push_back(alloc_counter::allocations() - allocs_before);
+        warm_ms = warm_watch.elapsed_ms();
+      }
     }
+    total_ms += ms;
+    frame_hist.record(ms);
     const Segmentation& warm = *warm_ptr;
     warm_total_ms += warm_ms;
     warm_hist.record(warm_ms);
+    soak_window += frame_counters;
+    soak_window_warm_allocs += warm_allocs.back();
+
+    if (monitor.active() &&
+        ((f + 1) % monitor_every == 0 || f == frames - 1)) {
+      monitor.snapshot(f + 1, soak_watch.elapsed_ms() / 1e3, frame_hist,
+                       warm_hist, total_ms, warm_total_ms, soak_window,
+                       soak_window_warm_allocs,
+                       /*steady=*/soak_window_first_frame >= 2);
+      soak_window = perf::Delta{};
+      soak_window_warm_allocs = 0;
+      soak_window_first_frame = f + 1;
+    }
 
     table.add_row(
         {std::to_string(f), Table::num(ms, 1),
@@ -320,8 +459,11 @@ int main(int argc, char** argv) {
             << "  real-time (30 fps): " << (r.real_time() ? "yes" : "no")
             << "; wrote video_frame0_boundaries.ppm\n";
 
-  // --- Telemetry summary: tail latency and pool utilisation. ---
+  // --- Telemetry summary: tail latency, pool utilisation, allocations,
+  // and per-phase perf counters. ---
   telemetry::export_thread_pool(ThreadPool::global(), registry);
+  telemetry::export_allocations(registry);
+  perf::export_phases(registry);
   std::cout << "\nframe latency (golden model, " << frame_hist.count()
             << " frames): p50 " << Table::num(frame_hist.p50(), 1) << " ms, p95 "
             << Table::num(frame_hist.p95(), 1) << " ms, p99 "
@@ -347,6 +489,16 @@ int main(int argc, char** argv) {
   if (!trace_path.empty() && trace::compiled()) {
     std::cout << "tracing armed; will write " << trace_path << " at exit ("
               << trace::dropped_events() << " events dropped so far)\n";
+  }
+  if (monitor.active()) {
+    if (!monitor.ok()) {
+      std::cerr << "soak monitor: write failure on " << monitor.jsonl_path()
+                << " or the --prom file\n";
+      return 1;
+    }
+    if (!monitor.jsonl_path().empty())
+      std::cout << "soak monitor: appended snapshots to "
+                << monitor.jsonl_path() << '\n';
   }
   return 0;
 }

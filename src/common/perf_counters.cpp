@@ -1,0 +1,431 @@
+#include "common/perf_counters.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/telemetry.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define SSLIC_PERF_HAVE_SYSCALL 1
+#else
+#define SSLIC_PERF_HAVE_SYSCALL 0
+#endif
+
+namespace sslic::perf {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+#if SSLIC_PERF_HAVE_SYSCALL
+
+/// type/config pair for each Event, in enum order.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+const std::array<EventSpec, kNumEvents>& event_specs() {
+  static const std::array<EventSpec, kNumEvents> specs = {{
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {PERF_TYPE_HW_CACHE,
+       PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+           (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+  }};
+  return specs;
+}
+
+/// Opens one event counting the calling thread; returns the fd or -1.
+/// `exclude_kernel` keeps the open permissible under
+/// perf_event_paranoid <= 2 (the unprivileged default on most distros).
+int open_event(const EventSpec& spec) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0);
+  return static_cast<int>(fd);
+}
+
+#endif  // SSLIC_PERF_HAVE_SYSCALL
+
+/// One-time availability probe. Opens (and closes) each event once on the
+/// detecting thread; `usable[i]` then governs which events later
+/// CounterGroups attempt.
+struct Detection {
+  bool available = false;
+  std::array<bool, kNumEvents> usable{};
+  std::string status;
+};
+
+Detection detect() {
+  Detection d;
+  const char* env = std::getenv("SSLIC_PERF");
+  if (env != nullptr && std::string(env) == "0") {
+    d.status = "perf counters disabled by SSLIC_PERF=0; "
+               "IPC/miss-rate telemetry degrades to no-op";
+    return d;
+  }
+#if !SSLIC_PERF_HAVE_SYSCALL
+  d.status = "perf counters unavailable on this platform (not Linux); "
+             "IPC/miss-rate telemetry degrades to no-op";
+  return d;
+#else
+  int opened = 0;
+  int first_errno = 0;
+  for (int i = 0; i < kNumEvents; ++i) {
+    const int fd = open_event(event_specs()[static_cast<std::size_t>(i)]);
+    if (fd >= 0) {
+      d.usable[static_cast<std::size_t>(i)] = true;
+      ++opened;
+      close(fd);
+    } else if (first_errno == 0) {
+      first_errno = errno;
+    }
+  }
+  // Cycles or instructions must count for any derived metric to mean
+  // anything; a PMU that only exposes e.g. branch misses is treated as
+  // absent rather than half-armed.
+  d.available = d.usable[static_cast<std::size_t>(Event::kCycles)] ||
+                d.usable[static_cast<std::size_t>(Event::kInstructions)];
+  if (d.available) {
+    d.status = "perf counters active (" + std::to_string(opened) + "/" +
+               std::to_string(kNumEvents) + " events)";
+  } else {
+    d.usable = {};
+    d.status = std::string("perf counters unavailable: perf_event_open: ") +
+               std::strerror(first_errno == 0 ? ENOENT : first_errno) +
+               "; IPC/miss-rate telemetry degrades to no-op";
+  }
+  return d;
+#endif
+}
+
+const Detection& detection() {
+  static const Detection d = [] {
+    Detection result = detect();
+    // The one-line degradation/activation notice, logged exactly once.
+    if (result.available) {
+      SSLIC_INFO(result.status);
+    } else {
+      SSLIC_WARN(result.status);
+    }
+    return result;
+  }();
+  return d;
+}
+
+/// Runtime arm state: -1 = not yet initialized from detection.
+std::atomic<int> g_enabled{-1};
+
+/// Phase registry. Values are stable pointers (like MetricsRegistry).
+struct PhaseRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<PhaseAccum>> phases;
+};
+
+PhaseRegistry& phase_registry() {
+  static PhaseRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::kCycles: return "cycles";
+    case Event::kInstructions: return "instructions";
+    case Event::kL1dMisses: return "l1d_misses";
+    case Event::kLlcMisses: return "llc_misses";
+    case Event::kBranchMisses: return "branch_misses";
+    case Event::kStalledCycles: return "stalled_cycles";
+  }
+  return "unknown";
+}
+
+double Delta::ipc() const {
+  if (!has(Event::kInstructions) || !has(Event::kCycles)) return kNan;
+  const double cycles = (*this)[Event::kCycles];
+  return cycles <= 0.0 ? kNan : (*this)[Event::kInstructions] / cycles;
+}
+
+double Delta::mpki(Event miss_event) const {
+  if (!has(miss_event) || !has(Event::kInstructions)) return kNan;
+  const double instructions = (*this)[Event::kInstructions];
+  return instructions <= 0.0 ? kNan
+                             : 1000.0 * (*this)[miss_event] / instructions;
+}
+
+double Delta::stalled_fraction() const {
+  if (!has(Event::kStalledCycles) || !has(Event::kCycles)) return kNan;
+  const double cycles = (*this)[Event::kCycles];
+  return cycles <= 0.0 ? kNan : (*this)[Event::kStalledCycles] / cycles;
+}
+
+double Delta::dram_bytes() const {
+  return has(Event::kLlcMisses) ? (*this)[Event::kLlcMisses] * kCacheLineBytes
+                                : kNan;
+}
+
+double Delta::bytes_per_instruction() const {
+  if (!has(Event::kLlcMisses) || !has(Event::kInstructions)) return kNan;
+  const double instructions = (*this)[Event::kInstructions];
+  return instructions <= 0.0 ? kNan : dram_bytes() / instructions;
+}
+
+Delta& Delta::operator+=(const Delta& other) {
+  for (int i = 0; i < kNumEvents; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!other.valid[idx]) continue;
+    value[idx] += other.value[idx];
+    valid[idx] = true;
+  }
+  return *this;
+}
+
+bool available() { return detection().available; }
+
+const std::string& status() { return detection().status; }
+
+bool enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = available() ? 1 : 0;
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void set_enabled(bool enable) {
+  // Enabling cannot conjure counters that detection found absent.
+  g_enabled.store(enable && available() ? 1 : 0, std::memory_order_relaxed);
+}
+
+CounterGroup::CounterGroup() {
+  fd_.fill(-1);
+#if SSLIC_PERF_HAVE_SYSCALL
+  if (!detection().available) return;
+  for (int i = 0; i < kNumEvents; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!detection().usable[idx]) continue;
+    fd_[idx] = open_event(event_specs()[idx]);
+    if (fd_[idx] >= 0) active_ = true;
+  }
+#endif
+}
+
+CounterGroup::~CounterGroup() {
+#if SSLIC_PERF_HAVE_SYSCALL
+  for (const int fd : fd_)
+    if (fd >= 0) close(fd);
+#endif
+}
+
+Sample CounterGroup::read() const {
+  Sample sample;
+#if SSLIC_PERF_HAVE_SYSCALL
+  for (int i = 0; i < kNumEvents; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (fd_[idx] < 0) continue;
+    std::uint64_t buf[3] = {0, 0, 0};  // value, time_enabled, time_running
+    if (::read(fd_[idx], buf, sizeof(buf)) !=
+        static_cast<ssize_t>(sizeof(buf)))
+      continue;
+    sample.raw[idx] = buf[0];
+    sample.time_enabled[idx] = buf[1];
+    sample.time_running[idx] = buf[2];
+    sample.valid[idx] = true;
+  }
+#endif
+  return sample;
+}
+
+Delta CounterGroup::delta(const Sample& begin, const Sample& end) {
+  Delta d;
+  for (int i = 0; i < kNumEvents; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!begin.valid[idx] || !end.valid[idx]) continue;
+    if (end.raw[idx] < begin.raw[idx]) continue;  // defensive: never negative
+    const auto raw = static_cast<double>(end.raw[idx] - begin.raw[idx]);
+    const auto enabled_ns =
+        static_cast<double>(end.time_enabled[idx] - begin.time_enabled[idx]);
+    const auto running_ns =
+        static_cast<double>(end.time_running[idx] - begin.time_running[idx]);
+    if (running_ns > 0.0) {
+      // Multiplex correction: extrapolate the counted slice to the window.
+      d.value[idx] = raw * (enabled_ns / running_ns);
+      d.valid[idx] = true;
+    } else if (raw == 0.0) {
+      // Not scheduled during the window and nothing counted: an exact zero.
+      d.value[idx] = 0.0;
+      d.valid[idx] = true;
+    }
+  }
+  return d;
+}
+
+CounterGroup& this_thread_group() {
+  thread_local CounterGroup group;
+  return group;
+}
+
+PhaseAccum::PhaseAccum(std::string name) : name_(std::move(name)) {
+  for (auto& v : value_) v.store(0.0, std::memory_order_relaxed);
+  for (auto& v : valid_) v.store(false, std::memory_order_relaxed);
+}
+
+void PhaseAccum::reset() {
+  for (auto& v : value_) v.store(0.0, std::memory_order_relaxed);
+  for (auto& v : valid_) v.store(false, std::memory_order_relaxed);
+  samples_.store(0, std::memory_order_relaxed);
+}
+
+void PhaseAccum::add(const Delta& delta) {
+  for (int i = 0; i < kNumEvents; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!delta.valid[idx]) continue;
+    atomic_add_double(value_[idx], delta.value[idx]);
+    valid_[idx].store(true, std::memory_order_relaxed);
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Delta PhaseAccum::total() const {
+  Delta d;
+  for (int i = 0; i < kNumEvents; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    d.value[idx] = value_[idx].load(std::memory_order_relaxed);
+    d.valid[idx] = valid_[idx].load(std::memory_order_relaxed);
+  }
+  return d;
+}
+
+PhaseAccum& phase(const std::string& name) {
+  PhaseRegistry& registry = phase_registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  auto& slot = registry.phases[name];
+  if (slot == nullptr) slot = std::make_unique<PhaseAccum>(name);
+  return *slot;
+}
+
+std::vector<const PhaseAccum*> phases() {
+  PhaseRegistry& registry = phase_registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<const PhaseAccum*> result;
+  result.reserve(registry.phases.size());
+  for (const auto& entry : registry.phases)
+    result.push_back(entry.second.get());
+  return result;
+}
+
+void reset_phases() {
+  PhaseRegistry& registry = phase_registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& entry : registry.phases) entry.second->reset();
+}
+
+void export_phases(telemetry::MetricsRegistry& registry) {
+  for (const PhaseAccum* accum : phases()) {
+    if (accum->samples() == 0) continue;
+    const Delta total = accum->total();
+    const std::string prefix = "sslic.perf." + accum->name();
+    registry.counter(prefix + ".samples").set(accum->samples());
+    for (int i = 0; i < kNumEvents; ++i) {
+      const auto e = static_cast<Event>(i);
+      if (!total.has(e)) continue;
+      registry.counter(prefix + "." + event_name(e))
+          .set(static_cast<std::uint64_t>(total[e]));
+    }
+    const auto set_gauge = [&](const char* suffix, double value) {
+      if (!std::isnan(value)) registry.gauge(prefix + suffix).set(value);
+    };
+    set_gauge(".ipc", total.ipc());
+    set_gauge(".l1d_mpki", total.mpki(Event::kL1dMisses));
+    set_gauge(".llc_mpki", total.mpki(Event::kLlcMisses));
+    set_gauge(".branch_mpki", total.mpki(Event::kBranchMisses));
+    set_gauge(".stalled_frac", total.stalled_fraction());
+    set_gauge(".dram_bytes", total.dram_bytes());
+  }
+}
+
+ScopedSample::ScopedSample(const char* name) : name_(name) {
+  if (!enabled()) return;
+  const CounterGroup& group = this_thread_group();
+  if (!group.active()) return;
+  armed_ = true;
+  begin_ = group.read();
+}
+
+ScopedSample::ScopedSample(Delta* out) : out_(out) {
+  if (!enabled()) return;
+  const CounterGroup& group = this_thread_group();
+  if (!group.active()) return;
+  armed_ = true;
+  begin_ = group.read();
+}
+
+ScopedSample::~ScopedSample() {
+  if (!armed_) {
+    if (out_ != nullptr) *out_ = Delta{};  // all-invalid: reads as degraded
+    return;
+  }
+  const Delta d = CounterGroup::delta(begin_, this_thread_group().read());
+  if (out_ != nullptr) {
+    *out_ = d;
+  } else if (name_ != nullptr) {
+    phase(name_).add(d);
+  }
+}
+
+IntervalSample::IntervalSample() {
+  if (!enabled()) return;
+  const CounterGroup& group = this_thread_group();
+  if (!group.active()) return;
+  armed_ = true;
+  begin_ = group.read();
+}
+
+void IntervalSample::complete(const char* name) {
+  if (armed_) {
+    const Sample now = this_thread_group().read();
+    phase(name).add(CounterGroup::delta(begin_, now));
+    begin_ = now;
+    return;
+  }
+  // Re-arm in case sampling was enabled between regions.
+  if (enabled() && this_thread_group().active()) {
+    armed_ = true;
+    begin_ = this_thread_group().read();
+  }
+}
+
+}  // namespace sslic::perf

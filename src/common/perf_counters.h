@@ -1,0 +1,241 @@
+// Hardware performance counters via perf_event_open, with graceful
+// degradation to a no-op backend.
+//
+// The paper's claims are cycle and memory-traffic counts, and the energy
+// model is calibrated from per-operation costs (Horowitz, ISSCC'14) — so the
+// observatory needs ground-truth microarchitectural counters next to the
+// wall-clock spans and the analytic byte counts. A `CounterGroup` opens six
+// events for the calling thread (cycles, instructions, L1D-read misses,
+// LLC misses, branch misses, stalled backend cycles); `ScopedSample` is the
+// RAII sampler that rides the same scopes as `SSLIC_TRACE_SCOPE` spans and
+// the PhaseTimer phases, accumulating deltas into named `PhaseAccum`s that
+// `export_phases` publishes through the MetricsRegistry as raw counters plus
+// derived IPC / misses-per-kiloinstruction / stalled-fraction gauges.
+//
+// Availability is detected ONCE at first use and is never fatal: inside
+// containers (seccomp), on kernels without a PMU (cloud VMs report ENOENT),
+// on non-Linux hosts, or with `SSLIC_PERF=0` in the environment, every
+// sampler degrades to a no-op — one relaxed atomic load per scope, zero
+// syscalls — and a single log line reports the degradation (`status()`).
+// Results must be byte-identical with counters armed or degraded; the
+// counters observe, never perturb (tests/test_perf_counters.cpp).
+//
+// Counting semantics: events count the OPENING THREAD only (pid=0, no
+// inherit), mirroring the per-thread recording model of trace.h. Pool
+// workers that sample inside a parallel region each use their own lazily
+// opened `this_thread_group()`, so concurrent sampling is race-free by
+// construction. Multiplexing (more events than PMU slots) is corrected by
+// scaling each raw delta by its window's time_enabled/time_running ratio.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sslic::telemetry {
+class MetricsRegistry;
+}
+
+namespace sslic::perf {
+
+/// The fixed counter set. Events that fail to open individually (e.g.
+/// stalled-cycles on many PMUs) are simply marked invalid; the rest count.
+enum class Event : int {
+  kCycles = 0,
+  kInstructions,
+  kL1dMisses,      ///< L1 data-cache read misses
+  kLlcMisses,      ///< last-level cache misses (~DRAM line fetches)
+  kBranchMisses,
+  kStalledCycles,  ///< backend-stall cycles
+};
+inline constexpr int kNumEvents = 6;
+
+/// Metric-name suffix for an event ("cycles", "instructions", ...).
+[[nodiscard]] const char* event_name(Event e);
+
+/// Approximate DRAM line size used to convert LLC misses to bytes.
+inline constexpr double kCacheLineBytes = 64.0;
+
+/// One point-in-time reading of a CounterGroup. Raw values are monotonic
+/// non-decreasing; the enabled/running times support multiplex scaling of a
+/// delta between two samples.
+struct Sample {
+  std::array<std::uint64_t, kNumEvents> raw{};
+  std::array<std::uint64_t, kNumEvents> time_enabled{};
+  std::array<std::uint64_t, kNumEvents> time_running{};
+  std::array<bool, kNumEvents> valid{};
+
+  [[nodiscard]] bool any_valid() const {
+    for (const bool v : valid)
+      if (v) return true;
+    return false;
+  }
+};
+
+/// Difference between two Samples, multiplex-scaled. All derived metrics
+/// return a quiet NaN when their inputs are unavailable, so exporters can
+/// distinguish "zero" from "degraded" (soak JSONL emits null).
+struct Delta {
+  std::array<double, kNumEvents> value{};
+  std::array<bool, kNumEvents> valid{};
+
+  [[nodiscard]] bool has(Event e) const {
+    return valid[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] double operator[](Event e) const {
+    return value[static_cast<std::size_t>(e)];
+  }
+
+  /// Instructions per cycle (NaN when either event is unavailable).
+  [[nodiscard]] double ipc() const;
+  /// Misses per kilo-instruction for a miss-type event (NaN if unavailable).
+  [[nodiscard]] double mpki(Event miss_event) const;
+  /// Stalled-backend-cycle fraction of total cycles (NaN if unavailable).
+  [[nodiscard]] double stalled_fraction() const;
+  /// LLC misses * cache line size: the counter-measured DRAM byte estimate
+  /// to set against the analytic Instrumentation traffic (NaN if degraded).
+  [[nodiscard]] double dram_bytes() const;
+  /// dram_bytes()/instructions (NaN if unavailable).
+  [[nodiscard]] double bytes_per_instruction() const;
+
+  Delta& operator+=(const Delta& other);
+};
+
+/// True when the process can count at least cycles or instructions.
+/// Detection runs once, on the first call of any query here, and logs a
+/// single status line; it is never fatal.
+[[nodiscard]] bool available();
+
+/// One-line human-readable availability report, e.g.
+/// "perf counters active (5/6 events)" or
+/// "perf counters unavailable: perf_event_open: No such file or directory".
+[[nodiscard]] const std::string& status();
+
+/// Runtime arm/disarm on top of availability (tests and overhead benches).
+/// Disabled samplers cost one relaxed load; enabling when unavailable stays
+/// a no-op. Initial state: enabled iff available (and `SSLIC_PERF=0` forces
+/// unavailable).
+[[nodiscard]] bool enabled();
+void set_enabled(bool enabled);
+
+/// A set of per-thread counter file descriptors. Opens every usable event
+/// for the calling thread at construction (no-op when degraded); reads are
+/// one syscall per event. Destruction closes the fds.
+class CounterGroup {
+ public:
+  CounterGroup();
+  ~CounterGroup();
+
+  CounterGroup(const CounterGroup&) = delete;
+  CounterGroup& operator=(const CounterGroup&) = delete;
+
+  /// True when at least one event is counting.
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Current counter values (all-invalid Sample when inactive).
+  [[nodiscard]] Sample read() const;
+
+  /// Multiplex-scaled difference `end - begin` between two reads of this
+  /// group. Raw counters are monotonic, so values are always >= 0.
+  [[nodiscard]] static Delta delta(const Sample& begin, const Sample& end);
+
+ private:
+  std::array<int, kNumEvents> fd_;
+  bool active_ = false;
+};
+
+/// The calling thread's lazily opened group (thread_local).
+[[nodiscard]] CounterGroup& this_thread_group();
+
+/// Named accumulation target for scoped samples: one per phase/span name,
+/// accumulating deltas from any thread (relaxed atomics; totals are exact
+/// at quiescent points, like every other statistic in the telemetry layer).
+class PhaseAccum {
+ public:
+  explicit PhaseAccum(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void add(const Delta& delta);
+  /// Zeroes the accumulated totals (used by reset_phases()).
+  void reset();
+  [[nodiscard]] Delta total() const;
+  [[nodiscard]] std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::array<std::atomic<double>, kNumEvents> value_{};
+  std::array<std::atomic<bool>, kNumEvents> valid_{};
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+/// The process-wide accumulator registry (stable references, like
+/// MetricsRegistry). Creates the phase on first use.
+[[nodiscard]] PhaseAccum& phase(const std::string& name);
+
+/// Snapshot of every registered phase, in name order.
+[[nodiscard]] std::vector<const PhaseAccum*> phases();
+
+/// Drops all accumulated phase totals (references stay valid).
+void reset_phases();
+
+/// Publishes every phase with samples through the registry:
+/// `sslic.perf.<phase>.<event>` counters plus derived gauges
+/// `.ipc`, `.l1d_mpki`, `.llc_mpki`, `.branch_mpki`, `.stalled_frac`,
+/// `.dram_bytes`, and a `.samples` counter. Degraded events are omitted
+/// entirely rather than published as zero.
+void export_phases(telemetry::MetricsRegistry& registry);
+
+/// RAII scoped sampler. Construction snapshots the calling thread's group;
+/// destruction accumulates the delta into a named phase (or writes it to an
+/// out-param). Costs one relaxed load when disabled/degraded. Nesting is
+/// well-defined: the outer delta contains the inner one, matching the
+/// containment contract of trace spans.
+class ScopedSample {
+ public:
+  /// Accumulates into `phase(name)` at scope exit.
+  explicit ScopedSample(const char* name);
+  /// Writes the delta to `*out` at scope exit (no registry involvement).
+  explicit ScopedSample(Delta* out);
+  ~ScopedSample();
+
+  ScopedSample(const ScopedSample&) = delete;
+  ScopedSample& operator=(const ScopedSample&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  Delta* out_ = nullptr;
+  bool armed_ = false;
+  Sample begin_{};
+};
+
+/// Manual begin/complete sampling for back-to-back regions that straddle
+/// block boundaries — the perf analogue of trace::Interval, placed next to
+/// it so counters and spans stay in one taxonomy. complete(name)
+/// accumulates the delta since construction (or the previous complete())
+/// into `phase(name)` and re-arms for the next region.
+class IntervalSample {
+ public:
+  IntervalSample();
+
+  void complete(const char* name);
+
+ private:
+  bool armed_ = false;
+  Sample begin_{};
+};
+
+}  // namespace sslic::perf
+
+#define SSLIC_PERF_CONCAT2(a, b) a##b
+#define SSLIC_PERF_CONCAT(a, b) SSLIC_PERF_CONCAT2(a, b)
+
+/// Drops an RAII counter sample into the surrounding scope, accumulating
+/// under `sslic.perf.<name>`. Place next to the matching SSLIC_TRACE_SCOPE
+/// (or PhaseTimer region) so counters and spans share one taxonomy.
+#define SSLIC_PERF_SCOPE(name)                                     \
+  ::sslic::perf::ScopedSample SSLIC_PERF_CONCAT(sslic_perf_scope_, \
+                                                __LINE__)(name)

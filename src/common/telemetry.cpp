@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/alloc_counter.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -188,6 +189,45 @@ std::string JsonSink::text() const {
   return body_.empty() ? "{}" : "{\n" + body_ + "\n}";
 }
 
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:] only; everything else
+/// (the dots of the sslic.<unit>.<metric> convention) maps to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void PrometheusSink::write(const MetricSample& sample) {
+  const std::string name = prometheus_name(sample.name);
+  switch (sample.kind) {
+    case MetricSample::Kind::kCounter:
+      body_ += "# TYPE " + name + " counter\n";
+      body_ += name + " " + num(sample.value) + "\n";
+      break;
+    case MetricSample::Kind::kGauge:
+      body_ += "# TYPE " + name + " gauge\n";
+      body_ += name + " " + num(sample.value) + "\n";
+      break;
+    case MetricSample::Kind::kHistogram:
+      body_ += "# TYPE " + name + " summary\n";
+      body_ += name + "{quantile=\"0.5\"} " + num(sample.p50) + "\n";
+      body_ += name + "{quantile=\"0.95\"} " + num(sample.p95) + "\n";
+      body_ += name + "{quantile=\"0.99\"} " + num(sample.p99) + "\n";
+      body_ += name + "_sum " + num(sample.sum) + "\n";
+      body_ += name + "_count " + num(static_cast<double>(sample.count)) + "\n";
+      break;
+  }
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -242,6 +282,12 @@ void MetricsRegistry::flush_to(TelemetrySink& sink) const {
   }
 }
 
+std::string MetricsRegistry::export_prometheus() const {
+  PrometheusSink sink;
+  flush_to(sink);
+  return sink.text();
+}
+
 void MetricsRegistry::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
@@ -274,6 +320,10 @@ void export_thread_pool(const ThreadPool& pool, MetricsRegistry& registry) {
     registry.gauge(prefix + ".busy_ms")
         .set(static_cast<double>(stats[i].busy_ns) / 1e6);
   }
+}
+
+void export_allocations(MetricsRegistry& registry) {
+  registry.counter("sslic.alloc.total").set(alloc_counter::allocations());
 }
 
 }  // namespace sslic::telemetry

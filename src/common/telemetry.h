@@ -152,6 +152,20 @@ class JsonSink : public TelemetrySink {
   std::string body_;
 };
 
+/// Sink that accumulates Prometheus text exposition format (version 0.0.4):
+/// counters and gauges as-is, histograms as summaries with quantile labels
+/// plus `_sum`/`_count`. Metric names are sanitized to the Prometheus
+/// charset (`sslic.video.frame_ms` -> `sslic_video_frame_ms`). Suitable for
+/// the node-exporter textfile collector or any scrape-format consumer.
+class PrometheusSink : public TelemetrySink {
+ public:
+  void write(const MetricSample& sample) override;
+  [[nodiscard]] const std::string& text() const { return body_; }
+
+ private:
+  std::string body_;
+};
+
 /// Thread-safe registry of named metrics. Lookups are amortized once per
 /// call site; the returned references stay valid until clear().
 class MetricsRegistry {
@@ -166,6 +180,11 @@ class MetricsRegistry {
   /// Streams every metric through the sink, counters first, then gauges,
   /// then histograms, each group in name order.
   void flush_to(TelemetrySink& sink) const;
+
+  /// The full registry in Prometheus text exposition format (one flush
+  /// through a PrometheusSink). Write this to a file per soak snapshot and
+  /// standard tooling can watch a long-running pipeline.
+  [[nodiscard]] std::string export_prometheus() const;
 
   /// Drops every metric. Invalidates references handed out earlier.
   void clear();
@@ -190,6 +209,13 @@ void export_phase_timer(const PhaseTimer& timer, const std::string& unit,
 /// the caller's participation; see ThreadPool::stats()).
 void export_thread_pool(const ThreadPool& pool,
                         MetricsRegistry& registry = MetricsRegistry::global());
+
+/// Publishes the process heap-allocation total from common/alloc_counter.h
+/// as `sslic.alloc.total` — nonzero only in binaries that install the
+/// counting allocator (video_pipeline, test_fused). Makes the PR-4
+/// zero-allocation guarantee visible in `--metrics` output and the soak
+/// JSONL, not only in the video_pipeline report.
+void export_allocations(MetricsRegistry& registry = MetricsRegistry::global());
 
 }  // namespace telemetry
 }  // namespace sslic

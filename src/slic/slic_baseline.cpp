@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/perf_counters.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "image/planar.h"
@@ -55,6 +56,7 @@ void CpaSlic::segment_lab_into(const LabImage& lab, Segmentation& result,
                                PhaseTimer* phases) const {
   SSLIC_CHECK(!lab.empty());
   SSLIC_TRACE_SCOPE("cpa.segment");
+  SSLIC_PERF_SCOPE("cpa.segment");
   const int w = lab.width();
   const int h = lab.height();
   const std::size_t n = lab.size();
@@ -67,6 +69,7 @@ void CpaSlic::segment_lab_into(const LabImage& lab, Segmentation& result,
 
   Stopwatch init_watch;
   trace::Interval init_span;
+  perf::IntervalSample init_perf;
   const CenterGrid grid(w, h, params_.num_superpixels);
   const double spacing = grid.spacing();
   const DistanceCalculator dist(params_.compactness, spacing);
@@ -132,6 +135,7 @@ void CpaSlic::segment_lab_into(const LabImage& lab, Segmentation& result,
   const double spatial_weight = dist.spatial_weight();
   if (phases != nullptr) phases->add(kPhaseOther, init_watch.elapsed_ms());
   init_span.complete("cpa.init");
+  init_perf.complete("cpa.init");
 
   // 2S x 2S search rectangle centred on each SP (paper Section 2): +/- S.
   const int window = std::max(1, static_cast<int>(std::lround(spacing)));
@@ -146,6 +150,7 @@ void CpaSlic::segment_lab_into(const LabImage& lab, Segmentation& result,
     // --- Assignment: scan each active center's 2Sx2S window. ---
     Stopwatch assign_watch;
     trace::Interval assign_span;
+    perf::IntervalSample iter_perf;
     if (!subsampled) {
       // Full SLIC resets the minimum-distance plane every iteration. The
       // fused path folds the reset into each band's sweep (same writes,
@@ -293,6 +298,7 @@ void CpaSlic::segment_lab_into(const LabImage& lab, Segmentation& result,
     }
     if (phases != nullptr) phases->add(kPhaseDistanceMin, assign_watch.elapsed_ms());
     assign_span.complete("cpa.assign", iter);
+    iter_perf.complete("cpa.assign");
 
     // --- Center update: merge sigma partials, then divide. ---
     // Either path merges per-band partials in ascending band order with
@@ -346,6 +352,7 @@ void CpaSlic::segment_lab_into(const LabImage& lab, Segmentation& result,
         static_cast<std::uint64_t>(num_centers) * MemTraffic::kCenterBytes;
     if (phases != nullptr) phases->add(kPhaseCenterUpdate, update_watch.elapsed_ms());
     update_span.complete(fused ? "cpa.fused_accumulate" : "cpa.update", iter);
+    iter_perf.complete(fused ? "cpa.fused_accumulate" : "cpa.update");
 
     instr.iterations += 1;
     result.iterations_run = iter + 1;
@@ -368,6 +375,7 @@ void CpaSlic::segment_lab_into(const LabImage& lab, Segmentation& result,
   if (params_.enforce_connectivity) {
     Stopwatch conn_watch;
     SSLIC_TRACE_SCOPE("cpa.connectivity");
+    SSLIC_PERF_SCOPE("cpa.connectivity");
     enforce_connectivity(result.labels, params_.num_superpixels,
                          &scratch.connectivity);
     if (phases != nullptr) phases->add(kPhaseOther, conn_watch.elapsed_ms());

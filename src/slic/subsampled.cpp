@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/perf_counters.h"
 #include "common/trace.h"
 #include "image/planar.h"
 #include "slic/assign_kernels.h"
@@ -87,6 +88,7 @@ void PpaSlic::segment_impl(const LabImage& lab,
                            PhaseTimer* phases) const {
   SSLIC_CHECK(!lab.empty());
   SSLIC_TRACE_SCOPE("ppa.segment");
+  SSLIC_PERF_SCOPE("ppa.segment");
   const int w = lab.width();
   const int h = lab.height();
   const std::size_t n = lab.size();
@@ -176,6 +178,7 @@ void PpaSlic::segment_impl(const LabImage& lab,
     // two-pass update loop and sigmas match it bit for bit.
     Stopwatch assign_watch;
     trace::Interval assign_span;
+    perf::IntervalSample iter_perf;
     std::fill(tile_skipped.begin(), tile_skipped.end(), std::uint8_t{0});
     if (fused) {
       for (auto& s : sigmas) s.clear();
@@ -304,6 +307,7 @@ void PpaSlic::segment_impl(const LabImage& lab,
     if (phases != nullptr)
       phases->add(CpaSlic::kPhaseDistanceMin, assign_watch.elapsed_ms());
     assign_span.complete("ppa.assign", iter);
+    iter_perf.complete("ppa.assign");
 
     // --- Center update from the subset's accumulations (OS-EM style). ---
     // In two-pass mode the sigma accumulation runs as its own pass (the
@@ -367,6 +371,7 @@ void PpaSlic::segment_impl(const LabImage& lab,
     if (phases != nullptr)
       phases->add(CpaSlic::kPhaseCenterUpdate, update_watch.elapsed_ms());
     update_span.complete("ppa.update", iter);
+    iter_perf.complete("ppa.update");
 
     instr.iterations += 1;
     result.iterations_run = iter + 1;
@@ -385,6 +390,7 @@ void PpaSlic::segment_impl(const LabImage& lab,
   if (params_.enforce_connectivity) {
     Stopwatch conn_watch;
     SSLIC_TRACE_SCOPE("ppa.connectivity");
+    SSLIC_PERF_SCOPE("ppa.connectivity");
     enforce_connectivity(result.labels, params_.num_superpixels,
                          &scratch.connectivity);
     if (phases != nullptr) phases->add(CpaSlic::kPhaseOther, conn_watch.elapsed_ms());

@@ -1,0 +1,365 @@
+// Tests for the hardware perf-counter layer (common/perf_counters.h).
+//
+// The contract under test is graceful degradation: every API must behave
+// identically — same metric label sets, same program results, no crashes —
+// whether perf_event_open is live (bare-metal Linux with a PMU) or degraded
+// (containers, PMU-less VMs, SSLIC_PERF=0, non-Linux). The suite therefore
+// asserts exact values only where they are hardware-independent (manually
+// constructed Deltas, the no-op paths, export naming through PhaseAccum)
+// and containment/monotonicity elsewhere, so it is green in both worlds.
+// The TSan job runs ConcurrentSampling and ConcurrentEnableToggle to prove
+// scoped sampling from pool workers is race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/perf_counters.h"
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
+
+namespace sslic {
+namespace {
+
+/// Sink that records only the metric names it sees.
+class NameSink : public telemetry::TelemetrySink {
+ public:
+  void write(const telemetry::MetricSample& sample) override {
+    names.insert(sample.name);
+  }
+  std::set<std::string> names;
+};
+
+std::set<std::string> metric_names(const telemetry::MetricsRegistry& registry) {
+  NameSink sink;
+  registry.flush_to(sink);
+  return sink.names;
+}
+
+/// Restores the enabled flag (and drops phase accumulations) on scope exit
+/// so tests compose in any order.
+struct PerfStateGuard {
+  bool enabled = perf::enabled();
+  ~PerfStateGuard() {
+    perf::set_enabled(enabled);
+    perf::reset_phases();
+  }
+};
+
+/// A fully valid Delta with event i holding `base * (i + 1)`.
+perf::Delta make_delta(double base) {
+  perf::Delta d;
+  for (int i = 0; i < perf::kNumEvents; ++i) {
+    d.value[static_cast<std::size_t>(i)] = base * (i + 1);
+    d.valid[static_cast<std::size_t>(i)] = true;
+  }
+  return d;
+}
+
+TEST(PerfCounters, StatusIsNonEmptyAndStable) {
+  const std::string& first = perf::status();
+  EXPECT_FALSE(first.empty());
+  // Detection runs once; repeated queries return the same line.
+  EXPECT_EQ(&perf::status(), &first);
+  EXPECT_EQ(perf::status(), first);
+}
+
+TEST(PerfCounters, EnabledImpliesAvailable) {
+  // enabled() can never be true while the backend is unavailable; arming an
+  // unavailable backend must stay a no-op instead of faulting.
+  PerfStateGuard guard;
+  perf::set_enabled(true);
+  if (!perf::available()) {
+    EXPECT_FALSE(perf::enabled());
+  }
+  perf::set_enabled(false);
+  EXPECT_FALSE(perf::enabled());
+}
+
+TEST(PerfCounters, DisabledScopedSampleIsInert) {
+  PerfStateGuard guard;
+  perf::set_enabled(false);
+  perf::reset_phases();
+  {
+    SSLIC_PERF_SCOPE("test.inert");
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(perf::phase("test.inert").samples(), 0u);
+  EXPECT_FALSE(perf::phase("test.inert").total().has(perf::Event::kCycles));
+}
+
+TEST(PerfCounters, DisabledDeltaOutIsAllInvalid) {
+  PerfStateGuard guard;
+  perf::set_enabled(false);
+  perf::Delta delta = make_delta(1.0);  // must be overwritten, not merged
+  {
+    perf::ScopedSample sample(&delta);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  for (int i = 0; i < perf::kNumEvents; ++i)
+    EXPECT_FALSE(delta.valid[static_cast<std::size_t>(i)]) << "event " << i;
+  EXPECT_TRUE(std::isnan(delta.ipc()));
+}
+
+// The fallback-parity contract: the set of NON-perf metric labels a
+// workload exports must be byte-identical with counters armed or disarmed,
+// and any additional armed-only metrics must live under the reserved
+// `sslic.perf.` prefix. (With SSLIC_PERF=0 or no PMU, both runs are the
+// no-op backend and the sets match trivially — which is itself the point.)
+TEST(PerfCounters, FallbackParityOfExportedLabels) {
+  PerfStateGuard guard;
+  const auto run_workload = [](bool armed) {
+    perf::set_enabled(armed);
+    perf::reset_phases();
+    telemetry::MetricsRegistry registry;
+    registry.counter("sslic.app.frames").add(3);
+    registry.gauge("sslic.app.fps").set(30.0);
+    {
+      SSLIC_PERF_SCOPE("parity.work");
+      volatile double sink = 0.0;
+      for (int i = 0; i < 20000; ++i) sink = sink + i * 0.5;
+    }
+    perf::export_phases(registry);
+    return metric_names(registry);
+  };
+  const std::set<std::string> disarmed = run_workload(false);
+  const std::set<std::string> armed = run_workload(true);
+
+  std::set<std::string> armed_only;
+  for (const std::string& name : armed)
+    if (disarmed.find(name) == disarmed.end()) armed_only.insert(name);
+  for (const std::string& name : armed_only)
+    EXPECT_EQ(name.rfind("sslic.perf.", 0), 0u)
+        << "armed-only metric outside the sslic.perf. namespace: " << name;
+  for (const std::string& name : disarmed)
+    EXPECT_TRUE(armed.find(name) != armed.end())
+        << "metric lost when arming counters: " << name;
+}
+
+TEST(PerfCounters, ReadsAreMonotonicAndNonNegative) {
+  PerfStateGuard guard;
+  perf::set_enabled(perf::available());
+  perf::CounterGroup& group = perf::this_thread_group();
+  if (!group.active()) {
+    const perf::Sample s = group.read();
+    EXPECT_FALSE(s.any_valid());
+    return;  // degraded environment: the inactive contract is the test
+  }
+  perf::Sample previous = group.read();
+  for (int rep = 0; rep < 5; ++rep) {
+    volatile double sink = 0.0;
+    for (int i = 0; i < 50000; ++i) sink = sink + i * 0.5;
+    const perf::Sample current = group.read();
+    for (int e = 0; e < perf::kNumEvents; ++e) {
+      const auto idx = static_cast<std::size_t>(e);
+      if (!previous.valid[idx] || !current.valid[idx]) continue;
+      EXPECT_GE(current.raw[idx], previous.raw[idx]) << "event " << e;
+      EXPECT_GE(current.time_enabled[idx], previous.time_enabled[idx]);
+    }
+    const perf::Delta d = perf::CounterGroup::delta(previous, current);
+    for (int e = 0; e < perf::kNumEvents; ++e) {
+      const auto idx = static_cast<std::size_t>(e);
+      if (d.valid[idx]) {
+        EXPECT_GE(d.value[idx], 0.0) << "event " << e;
+      }
+    }
+    previous = current;
+  }
+}
+
+TEST(PerfCounters, ScopedNestingMatchesSpanPairing) {
+  PerfStateGuard guard;
+  perf::set_enabled(perf::available());
+  perf::Delta outer, inner;
+  {
+    perf::ScopedSample outer_sample(&outer);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+    {
+      perf::ScopedSample inner_sample(&inner);
+      for (int i = 0; i < 10000; ++i) sink = sink + i;
+    }
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  // Containment: whatever the inner scope counted, the outer scope counted
+  // at least as much — the same pairing contract as nested trace spans.
+  // In a degraded environment both deltas are all-invalid and the loop is
+  // vacuous, which is exactly the no-op parity the layer promises.
+  for (int e = 0; e < perf::kNumEvents; ++e) {
+    const auto idx = static_cast<std::size_t>(e);
+    EXPECT_EQ(outer.valid[idx], inner.valid[idx]) << "event " << e;
+    if (outer.valid[idx] && inner.valid[idx]) {
+      EXPECT_GE(outer.value[idx], inner.value[idx]) << "event " << e;
+    }
+  }
+}
+
+TEST(PerfCounters, DeltaDerivedMetrics) {
+  perf::Delta d;
+  d.value[static_cast<std::size_t>(perf::Event::kCycles)] = 1000.0;
+  d.valid[static_cast<std::size_t>(perf::Event::kCycles)] = true;
+  d.value[static_cast<std::size_t>(perf::Event::kInstructions)] = 2500.0;
+  d.valid[static_cast<std::size_t>(perf::Event::kInstructions)] = true;
+  d.value[static_cast<std::size_t>(perf::Event::kLlcMisses)] = 5.0;
+  d.valid[static_cast<std::size_t>(perf::Event::kLlcMisses)] = true;
+  EXPECT_DOUBLE_EQ(d.ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(d.mpki(perf::Event::kLlcMisses), 2.0);
+  EXPECT_DOUBLE_EQ(d.dram_bytes(), 5.0 * perf::kCacheLineBytes);
+  EXPECT_DOUBLE_EQ(d.bytes_per_instruction(), 5.0 * perf::kCacheLineBytes / 2500.0);
+  // Events that never opened poison only their own derived metrics.
+  EXPECT_TRUE(std::isnan(d.stalled_fraction()));
+  EXPECT_TRUE(std::isnan(d.mpki(perf::Event::kBranchMisses)));
+
+  perf::Delta empty;
+  EXPECT_TRUE(std::isnan(empty.ipc()));
+  EXPECT_TRUE(std::isnan(empty.dram_bytes()));
+}
+
+TEST(PerfCounters, DeltaAccumulateMergesValidity) {
+  perf::Delta total;
+  perf::Delta partial;
+  partial.value[static_cast<std::size_t>(perf::Event::kCycles)] = 10.0;
+  partial.valid[static_cast<std::size_t>(perf::Event::kCycles)] = true;
+  total += partial;
+  total += partial;
+  total += perf::Delta{};  // all-invalid: must not disturb the totals
+  EXPECT_DOUBLE_EQ(total[perf::Event::kCycles], 20.0);
+  EXPECT_TRUE(total.has(perf::Event::kCycles));
+  EXPECT_FALSE(total.has(perf::Event::kInstructions));
+}
+
+TEST(PerfCounters, PhaseAccumAndExportNaming) {
+  PerfStateGuard guard;
+  perf::reset_phases();
+  // Hardware-independent: feed a hand-built Delta through the accumulator
+  // and check the exported metric names and values exactly.
+  perf::phase("unit.test_phase").add(make_delta(100.0));
+  perf::phase("unit.test_phase").add(make_delta(10.0));
+  EXPECT_EQ(perf::phase("unit.test_phase").samples(), 2u);
+  const perf::Delta total = perf::phase("unit.test_phase").total();
+  EXPECT_DOUBLE_EQ(total[perf::Event::kCycles], 110.0);
+  EXPECT_DOUBLE_EQ(total[perf::Event::kInstructions], 220.0);
+
+  telemetry::MetricsRegistry registry;
+  perf::export_phases(registry);
+  const std::set<std::string> names = metric_names(registry);
+  for (const char* expected :
+       {"sslic.perf.unit.test_phase.cycles",
+        "sslic.perf.unit.test_phase.instructions",
+        "sslic.perf.unit.test_phase.l1d_misses",
+        "sslic.perf.unit.test_phase.llc_misses",
+        "sslic.perf.unit.test_phase.branch_misses",
+        "sslic.perf.unit.test_phase.stalled_cycles",
+        "sslic.perf.unit.test_phase.ipc",
+        "sslic.perf.unit.test_phase.llc_mpki",
+        "sslic.perf.unit.test_phase.dram_bytes",
+        "sslic.perf.unit.test_phase.samples"}) {
+    EXPECT_TRUE(names.find(expected) != names.end()) << expected;
+  }
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("sslic.perf.unit.test_phase.ipc").value(),
+      220.0 / 110.0);
+}
+
+TEST(PerfCounters, ResetPhasesKeepsReferencesValid) {
+  PerfStateGuard guard;
+  perf::PhaseAccum& accum = perf::phase("unit.reset_phase");
+  accum.add(make_delta(5.0));
+  EXPECT_EQ(accum.samples(), 1u);
+  perf::reset_phases();
+  EXPECT_EQ(accum.samples(), 0u);  // same object, zeroed
+  EXPECT_FALSE(accum.total().has(perf::Event::kCycles));
+  accum.add(make_delta(2.0));
+  EXPECT_DOUBLE_EQ(perf::phase("unit.reset_phase").total()[perf::Event::kCycles],
+                   2.0);
+}
+
+TEST(PerfCounters, IntervalSampleAccumulatesBackToBack) {
+  PerfStateGuard guard;
+  perf::set_enabled(perf::available());
+  perf::reset_phases();
+  perf::IntervalSample interval;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  interval.complete("unit.interval_a");
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  interval.complete("unit.interval_b");
+  if (perf::enabled() && perf::this_thread_group().active()) {
+    EXPECT_EQ(perf::phase("unit.interval_a").samples(), 1u);
+    EXPECT_EQ(perf::phase("unit.interval_b").samples(), 1u);
+  } else {
+    EXPECT_EQ(perf::phase("unit.interval_a").samples(), 0u);
+    EXPECT_EQ(perf::phase("unit.interval_b").samples(), 0u);
+  }
+}
+
+// Each thread samples through its own thread_local CounterGroup into the
+// shared phase registry; TSan must see no races. Runs in every world: the
+// degraded path still exercises the shared registry and the atomic
+// enabled-flag loads.
+TEST(PerfCounters, ConcurrentSampling) {
+  PerfStateGuard guard;
+  perf::set_enabled(perf::available());
+  perf::reset_phases();
+  constexpr int kThreads = 4;
+  constexpr int kScopesPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kScopesPerThread; ++i) {
+        SSLIC_PERF_SCOPE("unit.concurrent");
+        volatile int sink = 0;
+        for (int k = 0; k < 100; ++k) sink = sink + k;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::uint64_t samples = perf::phase("unit.concurrent").samples();
+  if (perf::enabled())
+    EXPECT_EQ(samples, static_cast<std::uint64_t>(kThreads) * kScopesPerThread);
+  else
+    EXPECT_EQ(samples, 0u);
+}
+
+TEST(PerfCounters, ConcurrentSamplingInsideParallelFor) {
+  PerfStateGuard guard;
+  perf::set_enabled(perf::available());
+  perf::reset_phases();
+  std::atomic<std::int64_t> work{0};
+  parallel_for(0, 64, [&](std::int64_t lo, std::int64_t hi) {
+    SSLIC_PERF_SCOPE("unit.pool_chunk");
+    std::int64_t local = 0;
+    for (std::int64_t i = lo; i < hi; ++i) local += i;
+    work.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(work.load(), 64 * 63 / 2);
+}
+
+TEST(PerfCounters, ConcurrentEnableToggle) {
+  PerfStateGuard guard;
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    for (int i = 0; i < 500 && !stop.load(std::memory_order_relaxed); ++i)
+      perf::set_enabled(i % 2 == 0);
+  });
+  for (int i = 0; i < 500; ++i) {
+    SSLIC_PERF_SCOPE("unit.toggle");
+    volatile int sink = 0;
+    for (int k = 0; k < 50; ++k) sink = sink + k;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  toggler.join();
+  // No assertion on the sample count (it races with the toggler by design);
+  // the test is that TSan sees no data race and nothing crashes.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sslic

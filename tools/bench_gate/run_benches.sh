@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Runs the CI-sized bench set and collects the BENCH_*.json artifacts.
+#
+#   tools/bench_gate/run_benches.sh <build-dir> <output-dir>
+#
+# The workload sizes here are the gate's canonical CI configuration: small
+# enough for a minutes-long CI step, large enough that per-frame medians are
+# stable. Baselines under bench/baselines/ MUST be regenerated with this
+# same script (same sizes), or the comparison is meaningless:
+#
+#   tools/bench_gate/run_benches.sh build bench/baselines
+set -eu
+
+BUILD_DIR="${1:?usage: run_benches.sh <build-dir> <output-dir>}"
+OUT_DIR="${2:?usage: run_benches.sh <build-dir> <output-dir>}"
+
+mkdir -p "$OUT_DIR"
+OUT_DIR="$(cd "$OUT_DIR" && pwd)"
+BUILD_DIR="$(cd "$BUILD_DIR" && pwd)"
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+cd "$WORK_DIR"
+
+echo "== fused_iteration =="
+"$BUILD_DIR/bench/fused_iteration" --frames=5 --width=640 --height=360 \
+    --superpixels=400
+
+echo "== telemetry_overhead =="
+"$BUILD_DIR/bench/telemetry_overhead" --frames=5 --width=640 --height=360 \
+    --superpixels=400
+
+echo "== thread_scaling =="
+"$BUILD_DIR/bench/thread_scaling" --frames=5 --width=640 --height=360 \
+    --superpixels=400
+
+echo "== simd_kernels =="
+"$BUILD_DIR/bench/simd_kernels" --width=640 --rows=64 --reps=10
+
+cp BENCH_*.json "$OUT_DIR/"
+echo "artifacts in $OUT_DIR:"
+ls -1 "$OUT_DIR"/BENCH_*.json
