@@ -36,6 +36,7 @@
 #include "dataset/synthetic.h"
 #include "metrics/segmentation_metrics.h"
 #include "slic/assign_kernels.h"
+#include "slic/assign_strategy.h"
 #include "slic/segmenter.h"
 
 namespace sslic::bench {
@@ -54,10 +55,12 @@ struct BenchConfig {
 
   /// Parses the common flags. As a side effect, `--threads=N` (or the
   /// `SSLIC_THREADS` environment variable when the flag is absent) resizes
-  /// the global thread pool, `--simd=scalar|sse2|avx2|neon` (or the
+  /// the global thread pool, `--simd=scalar|sse2|avx2|avx512|neon` (or the
   /// `SSLIC_SIMD` environment variable) selects the assignment-kernel ISA
-  /// for the whole bench run, and `--trace=out.json` arms the tracing
-  /// session (dumped at process exit; see common/trace.h).
+  /// for the whole bench run, `--assign=auto|row|cluster` (or the
+  /// `SSLIC_ASSIGN` environment variable) pins the CPA assignment
+  /// schedule, and `--trace=out.json` arms the tracing session (dumped at
+  /// process exit; see common/trace.h).
   static BenchConfig parse(int argc, const char* const* argv) {
     const CliArgs args(argc, argv);
     BenchConfig config;
@@ -75,8 +78,18 @@ struct BenchConfig {
     const std::string simd_request = args.get_string("simd", "");
     if (!simd_request.empty() && !simd::set_preferred_isa(simd_request)) {
       std::cerr << "unknown --simd value '" << simd_request
-                << "' (expected scalar|sse2|avx2|neon)\n";
+                << "' (expected scalar|sse2|avx2|avx512|neon)\n";
       std::exit(2);
+    }
+    const std::string assign_request = args.get_string("assign", "");
+    if (!assign_request.empty()) {
+      AssignStrategy strategy = AssignStrategy::kAuto;
+      if (!parse_assign_strategy(assign_request, &strategy)) {
+        std::cerr << "unknown --assign value '" << assign_request
+                  << "' (expected auto|row|cluster)\n";
+        std::exit(2);
+      }
+      set_assign_strategy(strategy);
     }
     const std::string trace_path = args.get_string("trace", "");
     if (!trace_path.empty()) {
@@ -176,7 +189,8 @@ inline void banner(const std::string& title, const BenchConfig& config) {
             << "workload: " << config.images << " synthetic Berkeley-like images, "
             << config.width << 'x' << config.height << ", K=" << config.superpixels
             << ", m=" << config.compactness << ", threads=" << config.threads
-            << ", simd=" << simd::isa_name(kernels::active_isa()) << '\n'
+            << ", simd=" << simd::isa_name(kernels::active_isa())
+            << ", assign=" << assign_strategy_name(assign_strategy()) << '\n'
             << "(see DESIGN.md §1 for the BSDS substitution; --images=N to scale)\n"
             << "==================================================================\n";
 }
@@ -306,7 +320,8 @@ class Json {
 inline Json machine_json() {
   Json backends = Json::array();
   for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse2,
-                              simd::Isa::kAvx2, simd::Isa::kNeon}) {
+                              simd::Isa::kAvx2, simd::Isa::kAvx512,
+                              simd::Isa::kNeon}) {
     if (kernels::backend_compiled(isa) && simd::cpu_supports(isa))
       backends.push(simd::isa_name(isa));
   }

@@ -16,11 +16,15 @@
 //
 // Emits BENCH_thread_scaling.json with the sweep, per-stage medians, and
 // machine metadata (CPU model, hardware threads, SIMD ISA) so CI or
-// plotting scripts can consume the numbers directly.
+// plotting scripts can consume the numbers directly. Unmeasurable sweep
+// points are still emitted, as {"threads": N, "skipped": true,
+// "skip_reason": ...} rows — the sweep array has the same shape on a
+// 1-core container as on a 16-core workstation, so bench-gate baselines
+// stay schema-stable across machines.
 //
 //   thread_scaling [--frames=5] [--superpixels=2000] [--ratio=0.5]
 //                  [--width=1920 --height=1080] [--oversubscribe=1]
-//                  [--simd=scalar|sse2|avx2|neon]
+//                  [--simd=scalar|sse2|avx2|avx512|neon]
 #include <algorithm>
 #include <iostream>
 #include <map>
@@ -160,18 +164,41 @@ int main(int argc, char** argv) {
   }
   std::cout << table;
 
+  // Measured and skipped points interleave in ascending thread order so
+  // the sweep array keeps one row per requested point on every machine.
   bench::Json sweep_json = bench::Json::array();
-  for (const Point& point : points) {
-    bench::Json stages_json = bench::Json::object();
-    for (const auto& [key, phase] : stages)
-      stages_json.set(key, point.stage_ms.at(key));
-    sweep_json.push(bench::Json::object()
-                        .set("threads", point.threads)
-                        .set("ms_per_frame", point.ms)
-                        .set("fps", 1000.0 / point.ms)
-                        .set("speedup_vs_serial", point.speedup)
-                        .set("stage_ms", std::move(stages_json))
-                        .set("labels_identical_to_serial", point.identical));
+  {
+    std::size_t next_point = 0;
+    std::size_t next_skipped = 0;
+    while (next_point < points.size() || next_skipped < skipped.size()) {
+      const bool take_skipped =
+          next_point == points.size() ||
+          (next_skipped < skipped.size() &&
+           skipped[next_skipped] < points[next_point].threads);
+      if (take_skipped) {
+        sweep_json.push(
+            bench::Json::object()
+                .set("threads", skipped[next_skipped])
+                .set("skipped", true)
+                .set("skip_reason",
+                     "oversubscribes the " + std::to_string(hw_threads) +
+                         "-thread machine (--oversubscribe=1 to force)"));
+        ++next_skipped;
+        continue;
+      }
+      const Point& point = points[next_point++];
+      bench::Json stages_json = bench::Json::object();
+      for (const auto& [key, phase] : stages)
+        stages_json.set(key, point.stage_ms.at(key));
+      sweep_json.push(bench::Json::object()
+                          .set("threads", point.threads)
+                          .set("skipped", false)
+                          .set("ms_per_frame", point.ms)
+                          .set("fps", 1000.0 / point.ms)
+                          .set("speedup_vs_serial", point.speedup)
+                          .set("stage_ms", std::move(stages_json))
+                          .set("labels_identical_to_serial", point.identical));
+    }
   }
   bench::Json skipped_json = bench::Json::array();
   for (const int threads : skipped) skipped_json.push(threads);

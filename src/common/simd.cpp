@@ -3,8 +3,14 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "common/logging.h"
+
 namespace sslic::simd {
 namespace {
+
+/// Every name parse_isa accepts, for the unknown-SSLIC_SIMD warning.
+constexpr const char* kAcceptedNames =
+    "scalar|off|none|sse2|avx2|avx512|neon";
 
 std::string to_lower(const std::string& s) {
   std::string out = s;
@@ -28,12 +34,32 @@ Preference& preference_state() {
   return p;
 }
 
-/// Clamps a requested ISA to what the CPU can execute: on x86 an AVX2
-/// request degrades to SSE2 before scalar; a cross-architecture request
-/// (NEON on x86, SSE/AVX on ARM) degrades straight to scalar.
+/// Position on the x86 preference ladder (-1 for the ARM lane).
+int x86_rank(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return 0;
+    case Isa::kSse2:
+      return 1;
+    case Isa::kAvx2:
+      return 2;
+    case Isa::kAvx512:
+      return 3;
+    case Isa::kNeon:
+      return -1;
+  }
+  return 0;
+}
+
+/// Clamps a requested ISA to what the CPU can execute: an x86 request
+/// degrades down the ladder avx512 -> avx2 -> sse2 -> scalar; a
+/// cross-architecture request (NEON on x86, SSE/AVX on ARM) degrades
+/// straight to scalar.
 Isa clamp_to_cpu(Isa want) {
   if (cpu_supports(want)) return want;
-  if (want == Isa::kAvx2 && cpu_supports(Isa::kSse2)) return Isa::kSse2;
+  for (const Isa step : {Isa::kAvx2, Isa::kSse2}) {
+    if (x86_rank(step) < x86_rank(want) && cpu_supports(step)) return step;
+  }
   return Isa::kScalar;
 }
 
@@ -42,6 +68,15 @@ Isa env_or_detected() {
   if (env != nullptr && env[0] != '\0') {
     Isa parsed = Isa::kScalar;
     if (parse_isa(env, &parsed)) return parsed;
+    // One warning per process: the preference is memoized by the caller,
+    // so a typo would otherwise silently fall back to auto-detection.
+    static const bool warned = [&] {
+      SSLIC_WARN("unknown SSLIC_SIMD value \""
+                 << env << "\"; accepted: " << kAcceptedNames
+                 << " — falling back to CPU detection");
+      return true;
+    }();
+    (void)warned;
   }
   return detect_cpu_isa();
 }
@@ -58,6 +93,8 @@ const char* isa_name(Isa isa) {
       return "avx2";
     case Isa::kNeon:
       return "neon";
+    case Isa::kAvx512:
+      return "avx512";
   }
   return "scalar";
 }
@@ -72,6 +109,8 @@ bool parse_isa(const std::string& text, Isa* out) {
     *out = Isa::kAvx2;
   } else if (name == "neon") {
     *out = Isa::kNeon;
+  } else if (name == "avx512") {
+    *out = Isa::kAvx512;
   } else {
     return false;
   }
@@ -84,6 +123,14 @@ Isa detect_cpu_isa() {
     return Isa::kNeon;  // Advanced SIMD is baseline on AArch64
 #elif defined(__x86_64__) || defined(__i386__)
 #if defined(__GNUC__) || defined(__clang__)
+    // The AVX-512 backend uses F (f64/i32 math, masks), BW (byte-mask
+    // loads), DQ, and VL (256-bit label blends) — the Skylake-SP set.
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return Isa::kAvx512;
+    }
     if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
     if (__builtin_cpu_supports("sse2")) return Isa::kSse2;
     return Isa::kScalar;
@@ -102,7 +149,7 @@ bool cpu_supports(Isa isa) {
   const Isa best = detect_cpu_isa();
   if (isa == Isa::kNeon) return best == Isa::kNeon;
   if (best == Isa::kNeon) return false;
-  return static_cast<int>(isa) <= static_cast<int>(best);
+  return x86_rank(isa) <= x86_rank(best);
 }
 
 Isa preferred_isa() {

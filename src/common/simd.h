@@ -14,17 +14,20 @@
 
 namespace sslic::simd {
 
-/// Instruction sets a kernel backend can target. Order encodes x86
-/// preference (kAvx2 over kSse2 over kScalar); kNeon is the ARM lane.
+/// Instruction sets a kernel backend can target. The x86 lanes form a
+/// preference ladder (kAvx512 over kAvx2 over kSse2 over kScalar); kNeon
+/// is the ARM lane.
 enum class Isa {
   kScalar = 0,  ///< plain C++, always available
   kSse2 = 1,    ///< x86-64 baseline, 2 f64 / 4 i32 lanes
   kAvx2 = 2,    ///< 4 f64 / 8 i32 lanes
   kNeon = 3,    ///< AArch64 baseline, 2 f64 / 4 i32 lanes
+  kAvx512 = 4,  ///< 8 f64 / 16 i32 lanes (requires F+BW+DQ+VL)
 };
 
 /// Lower-case name used by `SSLIC_SIMD` / `--simd` ("scalar", "sse2",
-/// "avx2", "neon").
+/// "avx2", "neon", "avx512"). Round-trips through parse_isa for every
+/// enum value.
 const char* isa_name(Isa isa);
 
 /// Parses an ISA name (case-insensitive; "off" is an alias for "scalar").
@@ -41,8 +44,11 @@ bool cpu_supports(Isa isa);
 
 /// The ISA the process should use: the `SSLIC_SIMD` environment variable
 /// or the last `set_preferred_isa` call, clamped to what the CPU supports
-/// (an unsupported or cross-architecture request degrades toward
-/// kScalar). Defaults to `detect_cpu_isa()`.
+/// (an unsupported request degrades down the x86 ladder
+/// avx512 -> avx2 -> sse2 -> scalar; a cross-architecture request degrades
+/// straight to kScalar). Defaults to `detect_cpu_isa()`. An unrecognized
+/// `SSLIC_SIMD` value logs one WARN naming the accepted set and falls back
+/// to detection.
 Isa preferred_isa();
 
 /// Overrides the preference (e.g. from a `--simd=NAME` flag or a test

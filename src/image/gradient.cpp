@@ -6,9 +6,15 @@
 namespace sslic {
 
 Image<float> lab_gradient_magnitude(const LabImage& lab) {
+  Image<float> grad;
+  lab_gradient_magnitude(lab, grad);
+  return grad;
+}
+
+void lab_gradient_magnitude(const LabImage& lab, Image<float>& grad) {
   const int w = lab.width();
   const int h = lab.height();
-  Image<float> grad(w, h);
+  if (grad.width() != w || grad.height() != h) grad = Image<float>(w, h);
   const auto view = lab.view();
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
@@ -22,7 +28,6 @@ Image<float> lab_gradient_magnitude(const LabImage& lab) {
                    dy_a * dy_a + dy_b * dy_b;
     }
   }
-  return grad;
 }
 
 Image<float> sobel_magnitude(const Image<std::uint8_t>& grey) {

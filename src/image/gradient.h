@@ -12,6 +12,10 @@ namespace sslic {
 /// |.| is the L2 norm over (L,a,b). Border pixels use clamped neighbours.
 Image<float> lab_gradient_magnitude(const LabImage& lab);
 
+/// In-place variant: fills `grad`, reallocating only when the dimensions
+/// change (allocation-free at steady state — per-frame seeding paths).
+void lab_gradient_magnitude(const LabImage& lab, Image<float>& grad);
+
 /// Luminance Sobel gradient magnitude (utility; used by examples and the
 /// dataset generator's self-checks).
 Image<float> sobel_magnitude(const Image<std::uint8_t>& grey);

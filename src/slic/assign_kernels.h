@@ -8,6 +8,14 @@
 //                             over a row segment of its 2Sx2S window.
 //   * assign_candidates_row   PPA: best-of-9-candidates per pixel over a
 //                             tile row, with the round-robin subset mask.
+//                             Also the cluster-centric CPA span kernel for
+//                             full SLIC (running min seeded from infinity).
+//   * assign_candidates_row_seeded  Cluster-centric CPA for the subsampled
+//                             variant: the running min is seeded from the
+//                             persistent min-distance plane, so each
+//                             covering center applies the same strict-<
+//                             update the row-sweep performs — but held in
+//                             registers across the whole candidate list.
 //   * assign_candidates_row_u8  The 8-bit integer datapath variant of the
 //                             same (HwSlic golden model).
 //   * accumulate_row          Fused-iteration sigma accumulation: scatters
@@ -24,7 +32,7 @@
 // contraction (kernel TUs build with -ffp-contract=off), strict `<`
 // comparisons so distance ties keep the lowest center index in every lane.
 // Labels, min-distances, and therefore centers are byte-identical across
-// scalar/SSE2/AVX2/NEON backends, tail lengths, and thread counts;
+// scalar/SSE2/AVX2/AVX-512/NEON backends, tail lengths, and thread counts;
 // tests/test_simd.cpp asserts this exhaustively.
 //
 // Each backend lives in its own translation unit compiled with the
@@ -88,6 +96,21 @@ struct KernelTable {
                                 const std::uint8_t* active, double* min_dist,
                                 std::int32_t* labels);
 
+  /// Seeded best-of-candidates (cluster-centric subsampled CPA): like
+  /// assign_candidates_row, but the running minimum starts from the
+  /// existing (min_dist[i], labels[i]) pair instead of infinity, and both
+  /// are stored back unconditionally. Ties keep the seed (strict `<`), so
+  /// one call over an ascending candidate list produces exactly the bytes
+  /// the row-sweep kernel leaves after visiting the same centers one by
+  /// one. `ncand` must be >= 1.
+  void (*assign_candidates_row_seeded)(const float* L, const float* a,
+                                       const float* b, std::int32_t x0,
+                                       std::int32_t count, double y,
+                                       const CenterOperand* cands,
+                                       std::int32_t ncand,
+                                       double spatial_weight, double* min_dist,
+                                       std::int32_t* labels);
+
   /// 8-bit integer datapath best-of-candidates (HwSlic::integer_distance
   /// followed by HwSlic::quantize_distance when dist_bits != 0); stores
   /// the winning candidate index into labels[i] for active pixels.
@@ -127,7 +150,9 @@ const KernelTable& table_for(simd::Isa isa);
 
 /// The ISA actually used: simd::preferred_isa() (env/flag override, CPU
 /// clamped) further clamped to the compiled backends, degrading
-/// avx2 -> sse2 -> scalar and neon -> scalar.
+/// avx512 -> avx2 -> sse2 -> scalar and neon -> scalar. Publishes the
+/// resolved value as the telemetry gauge `sslic.simd.active_isa` (the
+/// numeric Isa enum value) so runs can report which backend executed.
 simd::Isa active_isa();
 
 /// Kernel table of `active_isa()` — what the segmenters call. Resolve once
@@ -145,6 +170,9 @@ const KernelTable& avx2_table();
 #endif
 #if defined(SSLIC_KERNELS_NEON)
 const KernelTable& neon_table();
+#endif
+#if defined(SSLIC_KERNELS_AVX512)
+const KernelTable& avx512_table();
 #endif
 
 }  // namespace sslic::kernels

@@ -1,0 +1,126 @@
+// AVX-512 backend: 8 f64 lanes / 16 i32 lanes using the Skylake-SP subset
+// (F+BW+DQ+VL — detection in common/simd.cpp requires all four). This TU
+// is the only code in the binary compiled with -mavx512*; dispatch never
+// selects it unless the CPU reports the full feature set at runtime, so no
+// AVX-512 instruction can execute on an older machine. Comparisons produce
+// opmask registers (__mmask8/__mmask16) natively — select_* are single
+// masked blends, and select_lab needs no f64->i32 mask compression like
+// AVX2 does. -ffp-contract=off keeps the multiply/add sequence identical
+// to the scalar reference (no FMA even though the ISA has it).
+#include <immintrin.h>
+
+// GCC's maskless AVX-512 intrinsics expand to masked forms seeded with
+// _mm512_undefined_*(), which trips -Wmaybe-uninitialized (GCC PR 105593).
+// The shared template is warning-checked in every other backend TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include "slic/assign_kernels_impl.h"
+
+namespace sslic::kernels {
+namespace {
+
+struct Avx512Backend {
+  static constexpr int kLanesF64 = 8;
+  static constexpr int kLanesI32 = 16;
+  using VD = __m512d;
+  using VL = __m256i;  // 8 labels
+  using MD = __mmask8;
+  using VI = __m512i;
+  using MI = __mmask16;
+
+  static VD load_f32(const float* p) {
+    return _mm512_cvtps_pd(_mm256_loadu_ps(p));
+  }
+  static VD loadu_f64(const double* p) { return _mm512_loadu_pd(p); }
+  static void storeu_f64(double* p, VD v) { _mm512_storeu_pd(p, v); }
+  static VD set1_f64(double v) { return _mm512_set1_pd(v); }
+  static VD iota_f64(double base) {
+    return _mm512_add_pd(
+        _mm512_set1_pd(base),
+        _mm512_setr_pd(0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0));
+  }
+  static VD add(VD a, VD b) { return _mm512_add_pd(a, b); }
+  static VD sub(VD a, VD b) { return _mm512_sub_pd(a, b); }
+  static VD mul(VD a, VD b) { return _mm512_mul_pd(a, b); }
+  static MD cmplt_f64(VD a, VD b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ);
+  }
+  static VD select_f64(MD m, VD a, VD b) {
+    return _mm512_mask_blend_pd(m, b, a);
+  }
+  static VL loadu_lab(const std::int32_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void storeu_lab(std::int32_t* p, VL v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static VL set1_lab(std::int32_t v) { return _mm256_set1_epi32(v); }
+  static VL select_lab(MD m, VL a, VL b) {
+    return _mm256_mask_blend_epi32(m, b, a);
+  }
+  static MD mask_f64_from_bytes(const std::uint8_t* p) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+    return static_cast<MD>(
+        _mm_cmpneq_epi8_mask(bytes, _mm_setzero_si128()) & 0xff);
+  }
+
+  static VI load_u8_i32(const std::uint8_t* p) {
+    return _mm512_cvtepu8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static VI loadu_i32(const std::int32_t* p) {
+    return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+  }
+  static void storeu_i32(std::int32_t* p, VI v) {
+    _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+  }
+  static VI set1_i32(std::int32_t v) { return _mm512_set1_epi32(v); }
+  static VI iota_i32(std::int32_t base) {
+    return _mm512_add_epi32(
+        _mm512_set1_epi32(base),
+        _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                          15));
+  }
+  static VI add_i32(VI a, VI b) { return _mm512_add_epi32(a, b); }
+  static VI sub_i32(VI a, VI b) { return _mm512_sub_epi32(a, b); }
+  static VI mul_i32(VI a, VI b) { return _mm512_mullo_epi32(a, b); }
+  static VI mulw_shr8(VI v, std::int32_t weight) {
+    // Exact (int64)weight * v >> 8 per lane via even/odd widening products
+    // (both operands non-negative, so unsigned widening is exact).
+    const __m512i w = _mm512_set1_epi32(weight);
+    const __m512i even = _mm512_srli_epi64(_mm512_mul_epu32(v, w), 8);
+    const __m512i odd = _mm512_srli_epi64(
+        _mm512_mul_epu32(_mm512_srli_epi64(v, 32), w), 8);
+    return _mm512_mask_blend_epi32(static_cast<__mmask16>(0xaaaa), even,
+                                   _mm512_slli_epi64(odd, 32));
+  }
+  static VI sra_i32(VI v, int count) {
+    return _mm512_sra_epi32(v, _mm_cvtsi32_si128(count));
+  }
+  static VI min_i32(VI a, VI b) { return _mm512_min_epi32(a, b); }
+  static MI cmplt_i32(VI a, VI b) { return _mm512_cmplt_epi32_mask(a, b); }
+  static VI select_i32(MI m, VI a, VI b) {
+    return _mm512_mask_blend_epi32(m, b, a);
+  }
+  static MI mask_i32_from_bytes(const std::uint8_t* p) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    return _mm_cmpneq_epi8_mask(bytes, _mm_setzero_si128());
+  }
+  static bool all_eq_i32(VI a, VI b) {
+    return _mm512_cmpeq_epi32_mask(a, b) == static_cast<__mmask16>(0xffff);
+  }
+};
+
+}  // namespace
+
+const KernelTable& avx512_table() {
+  static const KernelTable table = make_table<Avx512Backend>();
+  return table;
+}
+
+}  // namespace sslic::kernels

@@ -1,0 +1,110 @@
+#include "slic/assign_strategy.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace sslic {
+namespace {
+
+// -1 = no override (use the environment), else the AssignStrategy value.
+std::atomic<int> g_override{-1};
+
+AssignStrategy env_default() {
+  static const AssignStrategy value = [] {
+    const char* env = std::getenv("SSLIC_ASSIGN");
+    if (env == nullptr || env[0] == '\0') return AssignStrategy::kAuto;
+    AssignStrategy parsed = AssignStrategy::kAuto;
+    if (parse_assign_strategy(env, &parsed)) return parsed;
+    SSLIC_WARN("unknown SSLIC_ASSIGN value \""
+               << env << "\"; accepted: auto|row|cluster — using auto");
+    return AssignStrategy::kAuto;
+  }();
+  return value;
+}
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* assign_strategy_name(AssignStrategy strategy) {
+  switch (strategy) {
+    case AssignStrategy::kAuto:
+      return "auto";
+    case AssignStrategy::kRow:
+      return "row";
+    case AssignStrategy::kCluster:
+      return "cluster";
+  }
+  return "auto";
+}
+
+bool parse_assign_strategy(const std::string& text, AssignStrategy* out) {
+  const std::string name = to_lower(text);
+  if (name == "auto") {
+    *out = AssignStrategy::kAuto;
+  } else if (name == "row") {
+    *out = AssignStrategy::kRow;
+  } else if (name == "cluster") {
+    *out = AssignStrategy::kCluster;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+AssignStrategy assign_strategy() {
+  const int override_value = g_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return static_cast<AssignStrategy>(override_value);
+  return env_default();
+}
+
+AssignStrategy resolve_assign_strategy(simd::Isa isa, int num_centers,
+                                       int width, int height) {
+  const AssignStrategy configured = assign_strategy();
+  if (configured != AssignStrategy::kAuto) return configured;
+  (void)isa;
+  // Both schedules evaluate, per pixel, exactly the covering centers (the
+  // byte-identity contract), so cluster can only win on memory traffic and
+  // per-call kernel efficiency — and its per-span bookkeeping amortizes
+  // over span length, which scales with the center spacing S =
+  // sqrt(pixels / K). bench/simd_kernels' end-to-end section measures the
+  // crossover on this software build: cluster reaches parity-to-ahead once
+  // S is large (long spans, few kernel calls) and trails the streaming row
+  // sweep when S is small (K large relative to the frame), where each span
+  // is a handful of pixels and call overhead dominates. Pick cluster only
+  // in the measured-win regime; see DESIGN.md §4g for the analysis.
+  const std::int64_t pixels =
+      static_cast<std::int64_t>(width) * static_cast<std::int64_t>(height);
+  const std::int64_t k = num_centers > 0 ? num_centers : 1;
+  const std::int64_t spacing_sq = pixels / k;  // S^2
+  return spacing_sq >= 96 * 96 ? AssignStrategy::kCluster
+                               : AssignStrategy::kRow;
+}
+
+void set_assign_strategy(AssignStrategy strategy) {
+  g_override.store(static_cast<int>(strategy), std::memory_order_relaxed);
+}
+
+void clear_assign_strategy_override() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+AssignStrategyGuard::AssignStrategyGuard(AssignStrategy strategy)
+    : previous_override_(g_override.load(std::memory_order_relaxed)) {
+  set_assign_strategy(strategy);
+}
+
+AssignStrategyGuard::~AssignStrategyGuard() {
+  g_override.store(previous_override_, std::memory_order_relaxed);
+}
+
+}  // namespace sslic

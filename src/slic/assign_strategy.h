@@ -1,0 +1,82 @@
+// Runtime switch between the two CPA assignment schedules (DESIGN.md §4g):
+//
+//   row      The original center-perspective sweep: each active center
+//            streams the rows of its 2Sx2S window through assign_center_row,
+//            updating the min-distance/label planes in memory once per
+//            covering center.
+//   cluster  The gSLICr-style cluster-centric schedule: each grid-column x
+//            row-band block gathers the centers whose windows intersect it,
+//            partitions every row into spans with a constant covering set,
+//            and resolves each span with one best-of-candidates kernel call
+//            — the running minimum lives in registers, each pixel's Lab,
+//            distance, and label entries are touched exactly once.
+//
+// Both schedules visit, per pixel, the same centers in the same ascending
+// index order with the same strict-< IEEE arithmetic, so labels and centers
+// are bit-identical either way (tests/test_fused.cpp sweeps both). PPA is
+// natively cluster-centric (its tile loop *is* the per-block candidate
+// scan), so the switch applies to CPA only.
+//
+// Resolution order mirrors fusion.h: a set_assign_strategy() override wins,
+// otherwise the SSLIC_ASSIGN environment variable ("row", "cluster",
+// "auto"), otherwise auto. Auto picks per run via
+// resolve_assign_strategy(); benches and examples expose a `--assign=NAME`
+// flag that calls set_assign_strategy().
+#pragma once
+
+#include <string>
+
+#include "common/simd.h"
+
+namespace sslic {
+
+/// CPA assignment schedule selector. kAuto defers to
+/// resolve_assign_strategy() at segmentation time.
+enum class AssignStrategy {
+  kAuto = 0,
+  kRow = 1,
+  kCluster = 2,
+};
+
+/// Lower-case name used by `SSLIC_ASSIGN` / `--assign` ("auto", "row",
+/// "cluster"); round-trips through parse_assign_strategy.
+const char* assign_strategy_name(AssignStrategy strategy);
+
+/// Parses a strategy name (case-insensitive). Returns false and leaves
+/// `out` untouched on an unknown name.
+bool parse_assign_strategy(const std::string& text, AssignStrategy* out);
+
+/// The configured strategy: override, else SSLIC_ASSIGN, else kAuto. May
+/// return kAuto — segmenters resolve that per run.
+AssignStrategy assign_strategy();
+
+/// Resolves kAuto against the run's shape: the ISA the kernels will use,
+/// the placed center count, and the image dimensions. Never returns kAuto.
+/// An explicit row/cluster configuration is returned unchanged.
+AssignStrategy resolve_assign_strategy(simd::Isa isa, int num_centers,
+                                       int width, int height);
+
+/// Process-wide override (e.g. from a `--assign` flag or a test sweeping
+/// both schedules). Call at quiescent points only — mid-segmentation
+/// toggles are not observed until the next segment() call.
+void set_assign_strategy(AssignStrategy strategy);
+
+/// Drops any override and falls back to the SSLIC_ASSIGN environment
+/// default (used by tests that sweep both schedules).
+void clear_assign_strategy_override();
+
+/// RAII helper for tests: pins a strategy, restores the previous
+/// resolution on destruction.
+class AssignStrategyGuard {
+ public:
+  explicit AssignStrategyGuard(AssignStrategy strategy);
+  ~AssignStrategyGuard();
+
+  AssignStrategyGuard(const AssignStrategyGuard&) = delete;
+  AssignStrategyGuard& operator=(const AssignStrategyGuard&) = delete;
+
+ private:
+  int previous_override_;  // -1 = none
+};
+
+}  // namespace sslic

@@ -1,0 +1,82 @@
+#include "slic/batch.h"
+
+#include <cstdint>
+
+#include "color/color_convert.h"
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace sslic {
+
+BatchSegmenter::BatchSegmenter(SlicParams params, Algorithm algorithm,
+                               DataWidth data_width)
+    : params_(params),
+      algorithm_(algorithm),
+      cpa_(params),
+      ppa_(params, data_width),
+      batch_runs_(
+          &telemetry::MetricsRegistry::global().counter("sslic.batch.runs")),
+      batch_frames_(&telemetry::MetricsRegistry::global().counter(
+          "sslic.batch.frames")) {}
+
+void BatchSegmenter::ensure_slots(std::size_t count) {
+  // Grow-only: shrinking would free the very buffers a steady-state caller
+  // is reusing. Slots beyond the current batch just sit idle.
+  if (results_.size() < count) {
+    results_.resize(count);
+    instrumentation_.resize(count);
+    scratch_.resize(count);
+    lab_.resize(count);
+  }
+}
+
+void BatchSegmenter::run_batch(std::size_t count, bool frames_are_rgb,
+                               const LabImage* lab_frames,
+                               const RgbImage* rgb_frames) {
+  if (count == 0) return;
+  SSLIC_TRACE_SCOPE("batch.segment", static_cast<std::int64_t>(count));
+  ensure_slots(count);
+  batch_runs_->add();
+  batch_frames_->add(count);
+
+  // One pool drain for the whole batch: frames are the chunks. Inside a
+  // worker the inner segmenter sees in_parallel_region() and runs its
+  // serial path, which the determinism contract makes bit-identical to
+  // every parallel path — so batch results match single-frame runs byte
+  // for byte at any thread count.
+  const auto run_frame = [&](std::size_t i) {
+    SSLIC_TRACE_SCOPE_AT(1, "batch.frame", static_cast<std::int64_t>(i));
+    const LabImage* frame = nullptr;
+    if (frames_are_rgb) {
+      srgb_to_lab(rgb_frames[i], lab_[i]);
+      frame = &lab_[i];
+    } else {
+      frame = lab_frames + i;
+    }
+    if (algorithm_ == Algorithm::kCpa) {
+      cpa_.segment_lab_into(*frame, results_[i], scratch_[i], {},
+                            &instrumentation_[i], nullptr);
+    } else {
+      ppa_.segment_lab_into(*frame, results_[i], scratch_[i], {},
+                            &instrumentation_[i], nullptr);
+    }
+  };
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.threads() <= 1 || count <= 1 || ThreadPool::in_parallel_region()) {
+    for (std::size_t i = 0; i < count; ++i) run_frame(i);
+  } else {
+    pool.run_chunks(count, run_frame);
+  }
+}
+
+void BatchSegmenter::segment_lab_batch(const LabImage* frames,
+                                       std::size_t count) {
+  run_batch(count, /*frames_are_rgb=*/false, frames, nullptr);
+}
+
+void BatchSegmenter::segment_batch(const RgbImage* frames, std::size_t count) {
+  run_batch(count, /*frames_are_rgb=*/true, nullptr, frames);
+}
+
+}  // namespace sslic

@@ -46,11 +46,22 @@ double CenterGrid::center_pos_y(int gy) const {
 std::vector<ClusterCenter> seed_centers(const CenterGrid& grid,
                                         const LabImage& lab,
                                         bool perturb_to_gradient_minimum) {
-  SSLIC_CHECK(lab.width() == grid.width() && lab.height() == grid.height());
+  std::vector<ClusterCenter> centers;
   Image<float> gradient;
-  if (perturb_to_gradient_minimum) gradient = lab_gradient_magnitude(lab);
+  seed_centers(grid, lab, perturb_to_gradient_minimum, centers, gradient);
+  return centers;
+}
 
-  std::vector<ClusterCenter> centers(static_cast<std::size_t>(grid.num_centers()));
+void seed_centers(const CenterGrid& grid, const LabImage& lab,
+                  bool perturb_to_gradient_minimum,
+                  std::vector<ClusterCenter>& centers,
+                  Image<float>& gradient_scratch) {
+  SSLIC_CHECK(lab.width() == grid.width() && lab.height() == grid.height());
+  const Image<float>& gradient = gradient_scratch;
+  if (perturb_to_gradient_minimum)
+    lab_gradient_magnitude(lab, gradient_scratch);
+
+  centers.resize(static_cast<std::size_t>(grid.num_centers()));
   for (int gy = 0; gy < grid.ny(); ++gy) {
     for (int gx = 0; gx < grid.nx(); ++gx) {
       int px = std::clamp(static_cast<int>(grid.center_pos_x(gx)), 0,
@@ -70,7 +81,6 @@ std::vector<ClusterCenter> seed_centers(const CenterGrid& grid,
            static_cast<double>(py)};
     }
   }
-  return centers;
 }
 
 std::vector<CandidateList> build_candidate_map(const CenterGrid& grid) {

@@ -56,6 +56,15 @@ std::vector<ClusterCenter> seed_centers(const CenterGrid& grid,
                                         const LabImage& lab,
                                         bool perturb_to_gradient_minimum);
 
+/// In-place variant: fills `centers` (resized to the grid's center count)
+/// and uses `gradient_scratch` for the perturbation pass, so per-frame
+/// callers (BatchSegmenter, TemporalSlic cold starts) re-seed without heap
+/// allocations once the buffers are warm.
+void seed_centers(const CenterGrid& grid, const LabImage& lab,
+                  bool perturb_to_gradient_minimum,
+                  std::vector<ClusterCenter>& centers,
+                  Image<float>& gradient_scratch);
+
 /// The 9 candidate center indices of one tile (grid cell). Border tiles
 /// clamp out-of-range neighbours, producing duplicate candidates — exactly
 /// what the hardware's fixed 9-entry center registers do.

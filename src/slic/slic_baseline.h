@@ -40,8 +40,8 @@ class CpaSlic {
 
   /// Buffer-reusing variant: writes into `result` and draws every working
   /// buffer from `scratch`. Repeated calls at an unchanged geometry reuse
-  /// all prior allocations (seeding the centers is the one remaining
-  /// cold-path allocation). Results are identical to segment_lab.
+  /// all prior allocations and run with zero heap allocations (seeding
+  /// included). Results are identical to segment_lab.
   void segment_lab_into(const LabImage& lab, Segmentation& result,
                         IterationScratch& scratch,
                         const IterationCallback& callback = {},

@@ -128,7 +128,8 @@ void PpaSlic::segment_impl(const LabImage& lab,
       c.y = std::clamp(c.y, 0.0, static_cast<double>(h - 1));
     }
   } else {
-    result.centers = seed_centers(grid, stored, params_.perturb_centers);
+    seed_centers(grid, stored, params_.perturb_centers, result.centers,
+                 scratch.gradient);
   }
   for (auto& c : result.centers) dist.quantize_center(c);
   initial_labels(grid, result.labels);
